@@ -1,0 +1,15 @@
+"""Fig. 2 — workload latency/quality variation (paper Section II-A)."""
+
+from repro.experiments import fig02_variation
+
+
+def test_fig02_variation(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig02_variation.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig02_variation.format_report(result))
+    # Long tail: the histogram spans well beyond the modal bin.
+    assert len(result.latency_bins) >= 4
+    # Never does every ISN contribute to every query.
+    assert result.modal_contributing_isns < testbed.cluster.n_shards

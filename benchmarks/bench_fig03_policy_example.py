@@ -1,0 +1,19 @@
+"""Fig. 3 — single-query policy comparison (the paper's "Canada" example)."""
+
+from repro.experiments import fig03_policy_example
+
+
+def test_fig03_policy_example(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig03_policy_example.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig03_policy_example.format_report(result))
+    outcomes = {o.policy: o for o in result.outcomes}
+    # Exhaustive is perfect but pays the straggler's latency.
+    assert outcomes["exhaustive"].precision == 1.0
+    assert outcomes["exhaustive"].budget_ms == max(result.service_ms)
+    # Cottage responds faster than exhaustive at better quality than the
+    # blind aggregation cut.
+    assert outcomes["cottage"].budget_ms <= outcomes["exhaustive"].budget_ms
+    assert outcomes["cottage"].precision >= outcomes["aggregation"].precision

@@ -1,0 +1,16 @@
+"""Fig. 4 — query latency vs CPU frequency."""
+
+from repro.experiments import fig04_frequency
+
+
+def test_fig04_frequency(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig04_frequency.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig04_frequency.format_report(result))
+    freqs = sorted(result.latency_by_freq_ms)
+    latencies = [result.latency_by_freq_ms[f] for f in freqs]
+    # Monotonically faster with frequency; full sweep ratio = f_max/f_min.
+    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    assert abs(result.speedup - freqs[-1] / freqs[0]) < 1e-6

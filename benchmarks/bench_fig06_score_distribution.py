@@ -1,0 +1,13 @@
+"""Fig. 6 — score histogram vs fitted Gamma tail."""
+
+from repro.experiments import fig06_score_distribution
+
+
+def test_fig06_score_distribution(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig06_score_distribution.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig06_score_distribution.format_report(result))
+    assert sum(count for _, _, count in result.histogram) > 0
+    assert result.gamma_above_kth >= 0.0

@@ -1,0 +1,18 @@
+"""Fig. 7 — quality predictor training curve, per-ISN accuracy, inference."""
+
+import numpy as np
+
+from repro.experiments import fig07_quality_predictor
+
+
+def test_fig07_quality_predictor(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig07_quality_predictor.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig07_quality_predictor.format_report(result))
+    # Training improves over the untrained ~1/(K+1) baseline.
+    chance = 1.0 / (testbed.cluster.k + 1)
+    assert result.curve_accuracy[-1] > chance * 2
+    # Inference stays in the paper's microsecond regime (well under 1 ms).
+    assert float(np.mean(result.per_isn_inference_us)) < 1000.0

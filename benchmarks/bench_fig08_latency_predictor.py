@@ -1,0 +1,16 @@
+"""Fig. 8 — latency predictor training curve, per-ISN accuracy, inference."""
+
+import numpy as np
+
+from repro.experiments import fig08_latency_predictor
+
+
+def test_fig08_latency_predictor(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig08_latency_predictor.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig08_latency_predictor.format_report(result))
+    # Within-one-bin accuracy should be solidly above half on every ISN.
+    assert float(np.mean(result.per_isn_accuracy)) > 0.5
+    assert float(np.mean(result.per_isn_inference_us)) < 1000.0

@@ -1,0 +1,18 @@
+"""Fig. 9 — worked Algorithm 1 example."""
+
+from repro.experiments import fig09_budget_example
+
+
+def test_fig09_budget_example(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig09_budget_example.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig09_budget_example.format_report(result))
+    decision = result.decision
+    assert decision.selected
+    assert decision.time_budget_ms is not None
+    # The budget covers every kept ISN's boosted latency.
+    by_id = {i.shard_id: i for i in result.inputs}
+    for sid in decision.selected:
+        assert by_id[sid].latency_boosted_ms <= decision.time_budget_ms + 1e-9

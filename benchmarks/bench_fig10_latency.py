@@ -1,0 +1,16 @@
+"""Fig. 10 — overall latency on both traces (paper Section V-A)."""
+
+from repro.experiments import fig10_latency
+
+
+def test_fig10_latency(benchmark, testbed):
+    results = benchmark.pedantic(
+        lambda: fig10_latency.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig10_latency.format_report(results))
+    for result in results.values():
+        # The paper's ordering: Cottage fastest, Taily near exhaustive.
+        assert result.avg_ms["cottage"] < result.avg_ms["exhaustive"]
+        assert result.avg_ms["cottage"] < result.avg_ms["taily"]
+        assert result.p95_ms["cottage"] < result.p95_ms["exhaustive"]

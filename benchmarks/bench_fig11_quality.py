@@ -1,0 +1,17 @@
+"""Fig. 11 — average P@10 (paper Section V-B)."""
+
+from repro.experiments import fig11_quality
+
+
+def test_fig11_quality(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig11_quality.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig11_quality.format_report(result))
+    for row in result.p_at_10.values():
+        assert row["exhaustive"] == 1.0
+        # Cottage trades a bounded amount of quality for latency.
+        assert row["cottage"] >= 0.8
+        # Rank-S's sampled votes are the weakest quality signal.
+        assert row["rank_s"] < row["cottage"]

@@ -1,0 +1,15 @@
+"""Fig. 12 — latency-quality scatter (paper Section V-B)."""
+
+from repro.experiments import fig12_scatter
+
+
+def test_fig12_scatter(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig12_scatter.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig12_scatter.format_report(result))
+    # Cottage dominates the fast-and-good quadrant vs the CSI baseline.
+    assert (
+        result.fast_good_fraction["cottage"] > result.fast_good_fraction["rank_s"]
+    )

@@ -1,0 +1,20 @@
+"""Fig. 13 — average selected ISNs per query (paper Section V-C)."""
+
+from conftest import full_fidelity
+
+from repro.experiments import fig13_active_isns
+
+
+def test_fig13_active_isns(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig13_active_isns.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig13_active_isns.format_report(result))
+    n = testbed.cluster.n_shards
+    for row in result.active.values():
+        assert row["exhaustive"] == n
+        # Cottage needs the fewest ISNs of the quality-preserving policies.
+        assert row["cottage"] < row["taily"]
+        if full_fidelity(testbed):
+            assert row["cottage"] < n / 2 + 1

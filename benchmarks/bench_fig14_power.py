@@ -1,0 +1,20 @@
+"""Fig. 14 — average package power (paper Section V-C)."""
+
+from conftest import full_fidelity
+
+from repro.experiments import fig14_power
+
+
+def test_fig14_power(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig14_power.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig14_power.format_report(result))
+    for row in result.power_w.values():
+        # Nothing draws below the idle floor.
+        assert all(result.idle_w <= value for value in row.values())
+        assert row["taily"] < row["exhaustive"]
+        if full_fidelity(testbed):
+            # At unit scale boosting in a tiny cluster can mask the saving.
+            assert row["cottage"] < row["exhaustive"]

@@ -1,0 +1,19 @@
+"""Fig. 15 — ML-prediction and coordination ablation (paper Section V-D)."""
+
+from repro.experiments import fig15_ablation
+
+
+def test_fig15_ablation(benchmark, testbed):
+    result = benchmark.pedantic(
+        lambda: fig15_ablation.run(testbed), rounds=1, iterations=1
+    )
+    print()
+    print(fig15_ablation.format_report(result))
+    for rows in result.rows.values():
+        by = {row.scheme: row for row in rows}
+        # Coordination buys latency: the local-decision variant is slower.
+        assert by["cottage"].avg_latency_ms <= by["cottage_isn"].avg_latency_ms * 1.05
+        # The NN quality model buys quality over the Gamma estimate.
+        assert by["cottage"].p_at_10 > by["cottage_without_ml"].p_at_10
+        # Everything beats exhaustive on latency.
+        assert by["cottage"].avg_latency_ms < by["exhaustive"].avg_latency_ms

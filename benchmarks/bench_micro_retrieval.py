@@ -1,0 +1,36 @@
+"""Microbenchmarks — query evaluation strategies on one shard.
+
+Not a paper figure: engine-level timing that backs the cost model's
+"pruning does less work" premise (Section III-C).
+"""
+
+import pytest
+
+from repro.retrieval import exhaustive_search, maxscore_search, wand_search
+
+STRATEGIES = {
+    "exhaustive": exhaustive_search,
+    "maxscore": maxscore_search,
+    "wand": wand_search,
+}
+
+
+def _hot_terms(testbed, n_terms=2):
+    shard = testbed.cluster.shards[0]
+    by_length = sorted(
+        ((len(shard.term(t).postings), t) for t in shard.terms()), reverse=True
+    )
+    return [t for _, t in by_length[:n_terms]]
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_micro_retrieval(benchmark, testbed, strategy):
+    shard = testbed.cluster.shards[0]
+    terms = _hot_terms(testbed)
+    search = STRATEGIES[strategy]
+    result = benchmark(lambda: search(shard, terms, 10))
+    assert len(result.hits) > 0
+    if strategy != "exhaustive":
+        full = exhaustive_search(shard, terms, 10)
+        # Pruning never does more document evaluations than exhaustive.
+        assert result.cost.docs_evaluated <= full.cost.docs_evaluated

@@ -1,0 +1,17 @@
+"""Table I — quality-prediction features for an example query."""
+
+from repro.experiments import tables_features
+from repro.predictors import QUALITY_FEATURE_NAMES, quality_features
+
+
+def test_table1_features(benchmark, testbed):
+    result = tables_features.run(testbed)
+    print()
+    print(tables_features.format_report(result))
+    assert [name for name, _ in result.quality_table] == list(QUALITY_FEATURE_NAMES)
+
+    # Benchmark the extraction kernel itself: it runs on every query at
+    # every ISN, so its cost is part of Cottage's coordination overhead.
+    stats = testbed.bank.stats_indexes[result.shard_id]
+    vector = benchmark(lambda: quality_features(result.query_terms, stats))
+    assert vector.shape == (len(QUALITY_FEATURE_NAMES),)

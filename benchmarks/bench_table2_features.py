@@ -1,0 +1,15 @@
+"""Table II — latency-prediction features for an example query."""
+
+from repro.experiments import tables_features
+from repro.predictors import LATENCY_FEATURE_NAMES, latency_features
+
+
+def test_table2_features(benchmark, testbed):
+    result = tables_features.run(testbed)
+    print()
+    print(tables_features.format_report(result))
+    assert [name for name, _ in result.latency_table] == list(LATENCY_FEATURE_NAMES)
+
+    stats = testbed.bank.stats_indexes[result.shard_id]
+    vector = benchmark(lambda: latency_features(result.query_terms, stats))
+    assert vector.shape == (len(LATENCY_FEATURE_NAMES),)

@@ -1,0 +1,11 @@
+"""Make `src/` importable for pytest runs even without an editable install.
+
+The offline environment lacks the `wheel` package, so `pip install -e .`
+may be unavailable; `python setup.py develop` works, but this shim keeps
+`pytest` self-sufficient either way.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    repro build-index --scale small --out index_dir/   # corpus -> shards -> disk
+    repro search index_dir/ canada weather             # query a saved index
+    repro compare --scale unit --trace wikipedia       # policy comparison table
+    repro figure fig10 --scale small                   # one paper figure/table
+
+``python -m repro ...`` works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    Scale,
+    Testbed,
+    fig02_variation,
+    fig03_policy_example,
+    fig04_frequency,
+    fig06_score_distribution,
+    fig07_quality_predictor,
+    fig08_latency_predictor,
+    fig09_budget_example,
+    fig10_latency,
+    fig11_quality,
+    fig12_scatter,
+    fig13_active_isns,
+    fig14_power,
+    fig15_ablation,
+    headline,
+    tables_features,
+)
+from repro.metrics import comparison_table
+
+FIGURES: dict[str, object] = {
+    "fig02": fig02_variation,
+    "fig03": fig03_policy_example,
+    "fig04": fig04_frequency,
+    "fig06": fig06_score_distribution,
+    "fig07": fig07_quality_predictor,
+    "fig08": fig08_latency_predictor,
+    "fig09": fig09_budget_example,
+    "fig10": fig10_latency,
+    "fig11": fig11_quality,
+    "fig12": fig12_scatter,
+    "fig13": fig13_active_isns,
+    "fig14": fig14_power,
+    "fig15": fig15_ablation,
+    "tables": tables_features,
+    "headline": headline,
+}
+
+ALL_POLICIES = (
+    "exhaustive", "aggregation", "taily", "rank_s",
+    "cottage_without_ml", "cottage_isn", "cottage",
+)
+
+
+def _scale(name: str) -> Scale:
+    try:
+        return getattr(Scale, name)()
+    except AttributeError:
+        raise SystemExit(f"unknown scale {name!r}; use unit, small or full")
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    from repro.index import build_shards, partition_topical, save_shards
+    from repro.text import WhitespaceAnalyzer
+    from repro.workloads import SyntheticCorpus
+
+    scale = _scale(args.scale)
+    print(f"generating corpus ({scale.corpus.n_docs} docs)...")
+    corpus = SyntheticCorpus(scale.corpus)
+    print(f"indexing {scale.n_shards} shards...")
+    shards = build_shards(
+        partition_topical(corpus.documents, scale.n_shards, seed=scale.seed),
+        analyzer=WhitespaceAnalyzer(),
+    )
+    save_shards(shards, args.out)
+    total_terms = sum(s.vocabulary_size() for s in shards)
+    print(f"wrote {len(shards)} shards ({total_terms} term entries) to {args.out}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.index import load_shards
+    from repro.retrieval import DistributedSearcher, Query
+    from repro.text import StandardAnalyzer, WhitespaceAnalyzer
+
+    shards = load_shards(args.index)
+    analyzer = WhitespaceAnalyzer() if args.raw_terms else StandardAnalyzer()
+    query = Query.from_text(" ".join(args.terms), analyzer)
+    if not query.terms:
+        print("query analyzed to no terms", file=sys.stderr)
+        return 1
+    searcher = DistributedSearcher(shards, k=args.k, strategy=args.strategy)
+    result = searcher.search(query)
+    print(f"terms: {list(query.terms)}  ({result.cost.docs_evaluated} docs evaluated)")
+    for rank, (doc_id, score) in enumerate(result.hits, start=1):
+        print(f"  {rank:2d}. doc {doc_id:<8d} score {score:.4f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    testbed = Testbed.build(_scale(args.scale))
+    names = tuple(args.policies) if args.policies else ALL_POLICIES
+    traces = {
+        "wikipedia": (testbed.wikipedia_trace,),
+        "lucene": (testbed.lucene_trace,),
+        "both": (testbed.wikipedia_trace, testbed.lucene_trace),
+    }[args.trace]
+    for trace in traces:
+        rows = [testbed.summarize(trace, name) for name in names]
+        print(comparison_table(rows, title=f"{trace.name} trace"))
+        print()
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    module = FIGURES.get(args.name)
+    if module is None:
+        print(
+            f"unknown figure {args.name!r}; options: {', '.join(sorted(FIGURES))}",
+            file=sys.stderr,
+        )
+        return 1
+    testbed = Testbed.build(_scale(args.scale))
+    print(module.format_report(module.run(testbed)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cottage (HPCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build-index", help="generate a corpus and save shards")
+    build.add_argument("--scale", default="small")
+    build.add_argument("--out", required=True, help="output directory")
+    build.set_defaults(fn=_cmd_build_index)
+
+    search = sub.add_parser("search", help="query a saved index")
+    search.add_argument("index", help="directory written by build-index")
+    search.add_argument("terms", nargs="+", help="query text")
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--strategy", default="maxscore")
+    search.add_argument(
+        "--raw-terms", action="store_true",
+        help="skip English analysis (synthetic 'tNNN' vocabularies)",
+    )
+    search.set_defaults(fn=_cmd_search)
+
+    compare = sub.add_parser("compare", help="run the policy comparison")
+    compare.add_argument("--scale", default="unit")
+    compare.add_argument("--trace", default="both",
+                         choices=("wikipedia", "lucene", "both"))
+    compare.add_argument("--policies", nargs="*", metavar="POLICY")
+    compare.set_defaults(fn=_cmd_compare)
+
+    figure = sub.add_parser("figure", help="reproduce one paper figure/table")
+    figure.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
+    figure.add_argument("--scale", default="unit")
+    figure.set_defaults(fn=_cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    fn: Callable[[argparse.Namespace], int] = args.fn
+    return fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,223 @@
+"""The aggregator: policy consultation, dispatch, merge, budget enforcement.
+
+Implements the paper's Fig. 5 control flow.  For coordinated policies the
+predict-and-report round (steps 1-5) is charged as the decision's
+``coordination_delay_ms``; dispatch then fans the query out, each selected
+ISN executes within the broadcast budget, and the aggregator merges
+whatever arrived by the deadline, dropping stragglers (step 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cache import ResultCache
+from repro.cluster.events import Simulator
+from repro.cluster.isn import ISNServer, Job
+from repro.cluster.network import NetworkModel
+from repro.cluster.types import (
+    ClusterView,
+    Decision,
+    QueryRecord,
+    SelectionPolicy,
+    ShardOutcome,
+)
+from repro.retrieval.query import Query
+from repro.retrieval.result import SearchResult, merge_results
+
+
+@dataclass
+class _PendingQuery:
+    """Aggregator-side state for one in-flight query."""
+
+    query: Query
+    arrival_ms: float
+    decision: Decision
+    dispatch_ms: float
+    expected: set[int]
+    responses: dict[int, SearchResult] = field(default_factory=dict)
+    outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
+    finalized: bool = False
+
+
+class Aggregator:
+    """Drives queries through the cluster under a selection policy."""
+
+    def __init__(
+        self,
+        isns: list[ISNServer],
+        policy: SelectionPolicy,
+        network: NetworkModel,
+        sim: Simulator,
+        k: int,
+        cache: ResultCache | None = None,
+        response_timeout_ms: float | None = None,
+    ) -> None:
+        """``response_timeout_ms`` is the safety net for unbudgeted
+        policies: with fail-silent ISNs in play, exhaustive-style "wait for
+        everyone" would otherwise never answer."""
+        if not isns:
+            raise ValueError("cluster needs at least one ISN")
+        if response_timeout_ms is not None and response_timeout_ms <= 0:
+            raise ValueError("response timeout must be positive")
+        self.isns = isns
+        self.policy = policy
+        self.network = network
+        self.sim = sim
+        self.k = k
+        self.cache = cache
+        self.response_timeout_ms = response_timeout_ms
+        self.records: list[QueryRecord] = []
+        self._default_freq = isns[0].freq_scale.default_ghz
+        self._max_freq = isns[0].freq_scale.max_ghz
+
+    # ---------------------------------------------------------------- intake
+    def view(self) -> ClusterView:
+        return ClusterView(
+            now_ms=self.sim.now,
+            n_shards=len(self.isns),
+            default_freq_ghz=self._default_freq,
+            max_freq_ghz=self._max_freq,
+            queued_predicted_ms=tuple(
+                isn.queued_work_default_ms for isn in self.isns
+            ),
+        )
+
+    def on_query(self, query: Query) -> None:
+        """Entry point, fired by the engine at the query's arrival time."""
+        arrival = self.sim.now
+        if self.cache is not None:
+            cached = self.cache.get(query.terms, arrival)
+            if cached is not None:
+                record = QueryRecord(
+                    query=query,
+                    arrival_ms=arrival,
+                    latency_ms=self.cache.lookup_ms,
+                    result=cached,
+                    decision=Decision(shard_ids=()),
+                    from_cache=True,
+                )
+                self._commit(record)
+                return
+        decision = self.policy.decide(query, self.view())
+        if not decision.shard_ids:
+            # A policy that selects nothing answers immediately and empty.
+            record = QueryRecord(
+                query=query,
+                arrival_ms=arrival,
+                latency_ms=decision.coordination_delay_ms,
+                result=SearchResult(),
+                decision=decision,
+            )
+            self._commit(record)
+            return
+
+        dispatch_delay = decision.coordination_delay_ms + self.network.delay_ms()
+        dispatch_ms = arrival + dispatch_delay
+        deadline = (
+            dispatch_ms + decision.time_budget_ms
+            if decision.time_budget_ms is not None
+            else None
+        )
+        pending = _PendingQuery(
+            query=query,
+            arrival_ms=arrival,
+            decision=decision,
+            dispatch_ms=dispatch_ms,
+            expected=set(decision.shard_ids),
+        )
+
+        for sid in decision.shard_ids:
+            isn = self.isns[sid]
+            freq = decision.frequency_overrides.get(sid, self._default_freq)
+            job = isn.make_job(
+                query,
+                freq_ghz=freq,
+                deadline_ms=deadline,
+                on_done=lambda job, ok, busy, p=pending, s=sid: self._on_isn_done(
+                    p, s, job, ok, busy
+                ),
+            )
+            self.sim.schedule_at(dispatch_ms, lambda i=isn, j=job: i.submit(j, self.sim))
+
+        if deadline is not None:
+            # Hard stop: merge whatever has arrived once responses from the
+            # deadline could have travelled back.  The epsilon makes the
+            # deadline inclusive: an ISN finishing exactly on the budget
+            # would otherwise lose the same-timestamp tie against this
+            # finalize event and be dropped.
+            self.sim.schedule_at(
+                deadline + self.network.delay_ms() + 1e-6,
+                lambda p=pending: self._finalize(p),
+            )
+        elif self.response_timeout_ms is not None:
+            # Unbudgeted policy: answer with whatever arrived by the safety
+            # timeout (fail-silent ISNs never respond at all).
+            self.sim.schedule_at(
+                dispatch_ms + self.response_timeout_ms,
+                lambda p=pending: self._finalize(p),
+            )
+
+    # ---------------------------------------------------------------- results
+    def _on_isn_done(
+        self, pending: _PendingQuery, shard_id: int, job: Job, completed: bool, busy_ms: float
+    ) -> None:
+        partial_docs = job.result.cost.docs_evaluated
+        service = self.isns[shard_id].cost_model.service_ms(job.result.cost, job.freq_ghz)
+        if not completed and service > 0:
+            partial_docs = int(round(partial_docs * min(busy_ms / service, 1.0)))
+        pending.outcomes[shard_id] = ShardOutcome(
+            shard_id=shard_id,
+            service_ms=busy_ms,
+            queued_ms=max(job.started_ms - pending.dispatch_ms, 0.0),
+            freq_ghz=job.freq_ghz,
+            completed=completed,
+            counted=False,
+            docs_evaluated=partial_docs,
+        )
+        if completed:
+            # Response travels back; count it on arrival.
+            self.sim.schedule(
+                self.network.delay_ms(),
+                lambda p=pending, s=shard_id, r=job.result: self._on_response(p, s, r),
+            )
+        else:
+            pending.expected.discard(shard_id)
+            self._maybe_finalize(pending)
+
+    def _on_response(
+        self, pending: _PendingQuery, shard_id: int, result: SearchResult
+    ) -> None:
+        if pending.finalized:
+            return  # straggler: dropped at the aggregator (paper step 7)
+        pending.responses[shard_id] = result
+        pending.expected.discard(shard_id)
+        self._maybe_finalize(pending)
+
+    def _maybe_finalize(self, pending: _PendingQuery) -> None:
+        if not pending.finalized and not pending.expected:
+            self._finalize(pending)
+
+    def _finalize(self, pending: _PendingQuery) -> None:
+        if pending.finalized:
+            return
+        pending.finalized = True
+        for sid in pending.responses:
+            if sid in pending.outcomes:
+                pending.outcomes[sid].counted = True
+        merged = merge_results(list(pending.responses.values()), self.k)
+        if self.cache is not None:
+            self.cache.put(pending.query.terms, merged, self.sim.now)
+        record = QueryRecord(
+            query=pending.query,
+            arrival_ms=pending.arrival_ms,
+            latency_ms=self.sim.now - pending.arrival_ms,
+            result=merged,
+            decision=pending.decision,
+            outcomes=sorted(pending.outcomes.values(), key=lambda o: o.shard_id),
+        )
+        self._commit(record)
+
+    def _commit(self, record: QueryRecord) -> None:
+        self.records.append(record)
+        self.policy.observe(record)

@@ -1,0 +1,105 @@
+"""Aggregator-side query result cache.
+
+Web search traffic is heavily skewed — the paper's Wikipedia trace repeats
+a small hot set — and production aggregators answer repeats from a result
+cache before any ISN is touched (Baeza-Yates et al., the paper's [1]).
+This LRU cache slots in front of the selection policy: a hit answers in
+the cache lookup time with zero ISN work; a miss falls through and the
+merged response is stored.
+
+Entries can carry a TTL so a deployment can bound staleness; the simulated
+index is immutable, so the default is no expiry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.retrieval.result import SearchResult
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters for one run."""
+
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """LRU result cache keyed by the query's term tuple."""
+
+    def __init__(
+        self,
+        capacity: int,
+        ttl_ms: float | None = None,
+        lookup_ms: float = 0.02,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        capacity:
+            Maximum number of cached queries (LRU eviction beyond it).
+        ttl_ms:
+            Entry lifetime; ``None`` never expires.
+        lookup_ms:
+            Simulated lookup latency charged on every query (hit or miss).
+        """
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if ttl_ms is not None and ttl_ms <= 0:
+            raise ValueError("ttl must be positive when set")
+        if lookup_ms < 0:
+            raise ValueError("lookup time cannot be negative")
+        self.capacity = capacity
+        self.ttl_ms = ttl_ms
+        self.lookup_ms = lookup_ms
+        self._entries: OrderedDict[tuple[str, ...], tuple[float, SearchResult]] = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, terms: tuple[str, ...], now_ms: float) -> SearchResult | None:
+        """Cached result for ``terms``, honouring TTL; None on miss."""
+        entry = self._entries.get(terms)
+        if entry is not None:
+            stored_ms, result = entry
+            if self.ttl_ms is None or now_ms - stored_ms <= self.ttl_ms:
+                self._entries.move_to_end(terms)
+                self._hits += 1
+                return result
+            del self._entries[terms]  # expired
+        self._misses += 1
+        return None
+
+    def put(self, terms: tuple[str, ...], result: SearchResult, now_ms: float) -> None:
+        if terms in self._entries:
+            self._entries.move_to_end(terms)
+        self._entries[terms] = (now_ms, result)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, terms: tuple[str, ...]) -> bool:
+        return terms in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits, misses=self._misses, evictions=self._evictions
+        )

@@ -1,0 +1,143 @@
+"""The simulated search cluster: ISNs + aggregator + event loop.
+
+``SearchCluster`` is the top-level runtime: build it once from a list of
+shards, then run traces under different selection policies.  Retrieval
+results are memoized in the shard searchers, so comparing many policies on
+the same trace costs retrieval only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.aggregator import Aggregator
+from repro.cluster.cache import CacheStats, ResultCache
+from repro.cluster.cpu import CostModel, FrequencyScale
+from repro.cluster.events import Simulator
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.governor import FrequencyGovernor
+from repro.cluster.isn import ISNServer
+from repro.cluster.network import NetworkModel
+from repro.cluster.power import EnergyMeter, PowerModel, PowerReport, package_report
+from repro.cluster.sleep import SleepPolicy
+from repro.cluster.types import QueryRecord, SelectionPolicy
+from repro.index.shard import IndexShard
+from repro.retrieval.query import QueryTrace
+from repro.retrieval.searcher import DistributedSearcher
+
+
+@dataclass
+class RunResult:
+    """Everything a simulated trace run produced."""
+
+    policy_name: str
+    records: list[QueryRecord]
+    power: PowerReport
+    elapsed_ms: float
+    cache_stats: CacheStats | None = None
+
+    def latencies_ms(self) -> list[float]:
+        return [record.latency_ms for record in self.records]
+
+
+class SearchCluster:
+    """A partition-aggregate search engine over simulated hardware.
+
+    Parameters mirror the paper's testbed: 16 shards on one package, a
+    1.2-2.7 GHz DVFS ladder, and a single aggregator.  The same instance
+    can run any number of traces/policies; each run gets fresh ISN queues
+    and energy meters.
+    """
+
+    def __init__(
+        self,
+        shards: list[IndexShard],
+        k: int = 10,
+        strategy: str = "maxscore",
+        cost_model: CostModel | None = None,
+        power_model: PowerModel | None = None,
+        freq_scale: FrequencyScale | None = None,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("cluster needs at least one shard")
+        self.k = k
+        self.cost_model = cost_model or CostModel()
+        self.power_model = power_model or PowerModel()
+        self.freq_scale = freq_scale or FrequencyScale()
+        self.network = network or NetworkModel()
+        self.searcher = DistributedSearcher(shards, k=k, strategy=strategy)
+        self.shards = shards
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def run_trace(
+        self,
+        trace: QueryTrace,
+        policy: SelectionPolicy,
+        governor: FrequencyGovernor | None = None,
+        cache: ResultCache | None = None,
+        faults: FaultSchedule | None = None,
+        response_timeout_ms: float | None = None,
+        sleep: SleepPolicy | None = None,
+    ) -> RunResult:
+        """Replay ``trace`` under ``policy`` and report latency + power.
+
+        ``governor`` optionally overrides the per-job frequency choice on
+        every ISN (see :mod:`repro.cluster.governor`); the default obeys
+        the policy's assignment, the paper's behaviour.  ``cache``
+        optionally answers repeated queries at the aggregator before the
+        policy runs (see :mod:`repro.cluster.cache`).  ``faults`` injects
+        fail-silent ISN outages; pair unbudgeted policies with
+        ``response_timeout_ms`` so the aggregator cannot wait forever.
+        ``sleep`` enables PowerNap-style idle naps on every ISN.
+        """
+        sim = Simulator()
+        meters = [EnergyMeter(self.power_model) for _ in self.shards]
+        isns = [
+            ISNServer(
+                shard_id=i,
+                searcher=self.searcher.searchers[i],
+                cost_model=self.cost_model,
+                freq_scale=self.freq_scale,
+                meter=meters[i],
+                governor=governor,
+                faults=faults,
+                sleep=sleep,
+            )
+            for i in range(self.n_shards)
+        ]
+        aggregator = Aggregator(
+            isns=isns, policy=policy, network=self.network, sim=sim, k=self.k,
+            cache=cache, response_timeout_ms=response_timeout_ms,
+        )
+        for query in trace:
+            sim.schedule_at(
+                query.arrival_time * 1000.0,
+                lambda q=query: aggregator.on_query(q),
+            )
+        sim.run()
+        elapsed = max(sim.now, trace.duration * 1000.0, 1e-9)
+        for isn in isns:
+            isn.finalize_sleep(elapsed)
+        report = package_report(meters, self.power_model, elapsed)
+        records = sorted(aggregator.records, key=lambda r: r.arrival_ms)
+        return RunResult(
+            policy_name=policy.name,
+            records=records,
+            power=report,
+            elapsed_ms=elapsed,
+            cache_stats=cache.stats if cache is not None else None,
+        )
+
+    def service_time_ms(self, query, shard_id: int, freq_ghz: float | None = None) -> float:
+        """Offline service-time oracle (no queueing): one query, one shard.
+
+        Used for predictor training labels and for the frequency-sweep
+        experiment (Fig. 4).
+        """
+        freq = freq_ghz if freq_ghz is not None else self.freq_scale.default_ghz
+        result = self.searcher.search_shard(shard_id, query)
+        return self.cost_model.service_ms(result.cost, freq)

@@ -1,0 +1,59 @@
+"""Discrete-event simulation core.
+
+A minimal but complete event loop: schedule callbacks at future simulated
+times, run until drained.  All cluster timing (queueing, service, network,
+budget expiry) is built on this.
+Times are milliseconds throughout the cluster package — the natural unit of
+web-search latencies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class Simulator:
+    """Event-driven clock.
+
+    Events scheduled for the same instant fire in scheduling order (a
+    monotonic sequence number breaks ties), which keeps runs fully
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay_ms`` simulated milliseconds from now."""
+        if delay_ms < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._heap, (self.now + delay_ms, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``time_ms``."""
+        self.schedule(max(time_ms - self.now, 0.0), callback)
+
+    def run(self, until_ms: float | None = None) -> None:
+        """Drain the event queue (optionally stopping at ``until_ms``)."""
+        while self._heap:
+            time, _, callback = self._heap[0]
+            if until_ms is not None and time > until_ms:
+                self.now = until_ms
+                return
+            heapq.heappop(self._heap)
+            self.now = time
+            self._events_processed += 1
+            callback()
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

@@ -1,0 +1,77 @@
+"""Fault injection: ISN outages.
+
+Real clusters lose serving nodes; partition-aggregate search degrades
+gracefully only if the aggregator stops waiting for the dead.  A
+:class:`FaultSchedule` marks (shard, interval) outages; a failed ISN
+accepts jobs but never responds (the fail-silent model — crashes and
+network partitions look identical to the aggregator).
+
+Two mechanisms bound the damage:
+
+* per-query time budgets (Cottage, aggregation policy) — a dead ISN is
+  just a straggler and is dropped at the deadline;
+* the aggregator's ``response_timeout_ms`` safety net — without it, an
+  unbudgeted policy (exhaustive, Taily, Rank-S) would wait forever.
+
+``tests/test_faults.py`` and ``benchmarks/bench_ext_fault_injection.py``
+exercise both.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One ISN down for [start_ms, end_ms)."""
+
+    shard_id: int
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise ValueError("shard_id must be non-negative")
+        if not 0.0 <= self.start_ms < self.end_ms:
+            raise ValueError("need 0 <= start < end")
+
+    def covers(self, time_ms: float) -> bool:
+        return self.start_ms <= time_ms < self.end_ms
+
+
+@dataclass
+class FaultSchedule:
+    """All outages for one simulated run."""
+
+    outages: list[Outage] = field(default_factory=list)
+    _by_shard: dict[int, list[Outage]] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        for outage in self.outages:
+            self._by_shard.setdefault(outage.shard_id, []).append(outage)
+        for intervals in self._by_shard.values():
+            intervals.sort(key=lambda o: o.start_ms)
+            for a, b in zip(intervals, intervals[1:]):
+                if b.start_ms < a.end_ms:
+                    raise ValueError(
+                        f"overlapping outages on shard {a.shard_id}"
+                    )
+
+    def is_down(self, shard_id: int, time_ms: float) -> bool:
+        """Whether the shard is failed at ``time_ms``."""
+        intervals = self._by_shard.get(shard_id)
+        if not intervals:
+            return False
+        idx = bisect_right([o.start_ms for o in intervals], time_ms) - 1
+        return idx >= 0 and intervals[idx].covers(time_ms)
+
+    def downtime_ms(self, shard_id: int) -> float:
+        return sum(
+            o.end_ms - o.start_ms for o in self._by_shard.get(shard_id, [])
+        )
+
+    @classmethod
+    def single(cls, shard_id: int, start_ms: float, end_ms: float) -> "FaultSchedule":
+        return cls(outages=[Outage(shard_id, start_ms, end_ms)])

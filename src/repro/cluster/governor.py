@@ -1,0 +1,114 @@
+"""ISN-side frequency governors.
+
+The paper positions Cottage as the missing *budget source* for the DVFS
+power managers it cites (Pegasus, TimeTrader, Rubik): "all these papers
+assume that the time budget or the deadline for a query is known".  This
+module closes that loop: once Cottage has broadcast a per-query deadline,
+a governor on each ISN picks the core frequency for each job.
+
+* :class:`AssignedFrequencyGovernor` — run at whatever the aggregator
+  assigned (the paper's scheme: default, or f_max when boosted).
+* :class:`SlackGovernor` — Rubik/TimeTrader-style: run each query at the
+  *lowest* frequency that still meets its deadline given the time already
+  spent in queue, never below the aggregator's assignment is required —
+  the assignment is treated as a hint, the deadline as the contract.
+  Saves power on queries with slack at zero quality cost (deadline still
+  met under perfect service-time knowledge; prediction error is absorbed
+  by the same budget slack as the baseline scheme).
+* :class:`RaceToIdleGovernor` — always run at f_max ("computational
+  sprinting"): the classic energy-latency counterpoint.
+
+``benchmarks/bench_ext_governor.py`` measures the three under Cottage
+budgets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cluster.cpu import CostModel, FrequencyScale
+from repro.retrieval.result import CostStats
+
+
+class FrequencyGovernor(ABC):
+    """Chooses the core frequency for one job at dispatch time."""
+
+    name: str = "governor"
+
+    @abstractmethod
+    def frequency_for(
+        self,
+        cost: CostStats,
+        assigned_ghz: float,
+        deadline_remaining_ms: float | None,
+        cost_model: CostModel,
+        freq_scale: FrequencyScale,
+    ) -> float:
+        """Frequency for a job about to start.
+
+        Parameters
+        ----------
+        cost:
+            The job's retrieval work (the governor may estimate service
+            time from it; a real system would use the latency predictor,
+            which tracks this quantity to within a bin).
+        assigned_ghz:
+            The frequency the aggregator's policy assigned.
+        deadline_remaining_ms:
+            Time left until the query's deadline, or None when unbudgeted.
+        """
+
+
+class AssignedFrequencyGovernor(FrequencyGovernor):
+    """The paper's scheme: obey the aggregator's assignment verbatim."""
+
+    name = "assigned"
+
+    def frequency_for(self, cost, assigned_ghz, deadline_remaining_ms,
+                      cost_model, freq_scale):
+        return freq_scale.clamp(assigned_ghz)
+
+
+class RaceToIdleGovernor(FrequencyGovernor):
+    """Sprint every job at f_max and return to idle sooner."""
+
+    name = "race_to_idle"
+
+    def frequency_for(self, cost, assigned_ghz, deadline_remaining_ms,
+                      cost_model, freq_scale):
+        return freq_scale.max_ghz
+
+
+class SlackGovernor(FrequencyGovernor):
+    """Lowest frequency that still meets the remaining deadline.
+
+    ``margin`` shrinks the remaining time before solving, absorbing the
+    service-time uncertainty a real ISN has (it knows predicted, not
+    actual, cycles).  Unbudgeted jobs fall back to the assignment — with
+    no deadline there is no slack to define.
+    """
+
+    name = "slack"
+
+    def __init__(self, margin: float = 0.9) -> None:
+        if not 0.0 < margin <= 1.0:
+            raise ValueError("margin must be in (0, 1]")
+        self.margin = margin
+
+    def frequency_for(self, cost, assigned_ghz, deadline_remaining_ms,
+                      cost_model, freq_scale):
+        if deadline_remaining_ms is None:
+            return freq_scale.clamp(assigned_ghz)
+        usable_ms = deadline_remaining_ms * self.margin
+        if usable_ms <= 0.0:
+            return freq_scale.max_ghz  # already late: sprint and hope
+        # service_ms(f) = cycles / (f * 1e6)  =>  f >= cycles / (usable * 1e6)
+        required_ghz = cost_model.cycles(cost) / (usable_ms * 1e6)
+        return freq_scale.clamp(required_ghz)
+
+
+GOVERNORS = {
+    "assigned": AssignedFrequencyGovernor,
+    "slack": SlackGovernor,
+    "race_to_idle": RaceToIdleGovernor,
+}

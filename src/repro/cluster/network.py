@@ -1,0 +1,36 @@
+"""Data-center network model.
+
+The paper notes that aggregator<->ISN round trips are "a few microseconds"
+against tens-of-milliseconds service times, so a simple latency+bandwidth
+model is faithful: Cottage's extra coordination round costs two message
+delays plus predictor inference, and that overhead must stay negligible for
+the reproduction to be honest about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """One-way message delay between the aggregator and an ISN."""
+
+    base_delay_ms: float = 0.05
+    bandwidth_gbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.base_delay_ms < 0:
+            raise ValueError("base delay must be non-negative")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def delay_ms(self, payload_bytes: int = 256) -> float:
+        """One-way delay for a message of ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        transfer_ms = payload_bytes * 8 / (self.bandwidth_gbps * 1e6)
+        return self.base_delay_ms + transfer_ms
+
+    def rtt_ms(self, payload_bytes: int = 256) -> float:
+        return 2.0 * self.delay_ms(payload_bytes)

@@ -1,0 +1,48 @@
+"""Sleep states: PowerNap-style idle power management.
+
+The paper's related work includes sleep-based schemes (PowerNap,
+DreamWeaver) that drop an idle server into a near-zero-power nap and pay a
+wake-up latency on the next request.  This module adds that mechanism to
+the simulated ISNs so the reproduction can combine Cottage's
+fewer-active-ISNs effect with nap savings on the ISNs it idles — the
+composition the paper's energy argument implies but does not evaluate.
+
+Semantics (evaluated lazily, at the next submission):
+
+* an ISN that has been idle for ``nap_after_ms`` is asleep;
+* a sleeping ISN draws ``nap_power_w`` instead of the core's static power;
+* the first job after a nap pays ``wake_ms`` before service starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SleepPolicy:
+    """Nap configuration for one ISN core.
+
+    Defaults follow PowerNap's premise: transition quickly (1 ms wake),
+    nap aggressively (after 50 ms idle), draw almost nothing asleep.
+    """
+
+    nap_after_ms: float = 50.0
+    wake_ms: float = 1.0
+    nap_power_w: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.nap_after_ms < 0:
+            raise ValueError("nap_after_ms must be non-negative")
+        if self.wake_ms < 0:
+            raise ValueError("wake_ms must be non-negative")
+        if self.nap_power_w < 0:
+            raise ValueError("nap power must be non-negative")
+
+    def nap_ms_in_gap(self, idle_gap_ms: float) -> float:
+        """How much of an idle gap was spent asleep."""
+        return max(idle_gap_ms - self.nap_after_ms, 0.0)
+
+    def wake_penalty_ms(self, idle_gap_ms: float) -> float:
+        """Wake latency charged to the job ending this idle gap."""
+        return self.wake_ms if idle_gap_ms > self.nap_after_ms else 0.0

@@ -1,0 +1,133 @@
+"""Shared cluster datatypes: policy decisions, cluster views, query records.
+
+These sit at the boundary between the simulator (:mod:`repro.cluster`) and
+the selection policies (:mod:`repro.policies`, :mod:`repro.core`): the
+aggregator hands a policy a :class:`ClusterView`, the policy returns a
+:class:`Decision`, and each finished query yields a :class:`QueryRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.retrieval.query import Query
+from repro.retrieval.result import SearchResult
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """What a policy may observe when deciding (global aggregator view).
+
+    ``queued_predicted_ms`` is each ISN's backlog of *predicted* service
+    time at the default frequency — the queue term of the paper's
+    equivalent latency (Eq. 2).
+    """
+
+    now_ms: float
+    n_shards: int
+    default_freq_ghz: float
+    max_freq_ghz: float
+    queued_predicted_ms: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.queued_predicted_ms) != self.n_shards:
+            raise ValueError("queue vector length must equal n_shards")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A policy's verdict for one query.
+
+    Attributes
+    ----------
+    shard_ids:
+        ISNs that will execute the query (order irrelevant).
+    time_budget_ms:
+        Deadline measured from dispatch; ``None`` waits for every selected
+        ISN (exhaustive semantics).
+    frequency_overrides:
+        Per-shard core frequency for this query; shards absent run at the
+        ISN's default frequency.
+    coordination_delay_ms:
+        Aggregator-side decision latency to charge before dispatch (e.g.
+        Cottage's predict-and-report round, Rank-S's CSI search).
+    """
+
+    shard_ids: tuple[int, ...]
+    time_budget_ms: float | None = None
+    frequency_overrides: dict[int, float] = field(default_factory=dict)
+    coordination_delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.shard_ids)) != len(self.shard_ids):
+            raise ValueError("shard_ids must be unique")
+        if self.time_budget_ms is not None and self.time_budget_ms <= 0:
+            raise ValueError("time budget must be positive")
+        if self.coordination_delay_ms < 0:
+            raise ValueError("coordination delay must be non-negative")
+        for sid in self.frequency_overrides:
+            if sid not in self.shard_ids:
+                raise ValueError("frequency override for unselected shard")
+
+
+@dataclass
+class ShardOutcome:
+    """What happened on one selected ISN for one query."""
+
+    shard_id: int
+    service_ms: float = 0.0
+    queued_ms: float = 0.0
+    freq_ghz: float = 0.0
+    completed: bool = False
+    counted: bool = False  # response arrived in time and was merged
+    docs_evaluated: int = 0
+
+
+@dataclass
+class QueryRecord:
+    """Full per-query outcome from a simulated run.
+
+    ``latency_ms`` is client-observed (arrival to aggregator response).
+    ``result`` holds the merged hits actually returned; quality metrics are
+    computed later against exhaustive ground truth.
+    """
+
+    query: Query
+    arrival_ms: float
+    latency_ms: float
+    result: SearchResult
+    decision: Decision
+    outcomes: list[ShardOutcome] = field(default_factory=list)
+    from_cache: bool = False
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.decision.shard_ids)
+
+    @property
+    def n_counted(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.counted)
+
+    @property
+    def docs_searched(self) -> int:
+        """C_RES: documents evaluated across the ISNs used for this query."""
+        return sum(outcome.docs_evaluated for outcome in self.outcomes)
+
+
+@runtime_checkable
+class SelectionPolicy(Protocol):
+    """What the aggregator requires of a policy.
+
+    ``decide`` picks ISNs/budget/frequencies for one query; ``observe`` is
+    called with each finished record (adaptive policies such as the
+    epoch-based aggregation baseline learn their budget from it).
+    """
+
+    name: str
+
+    def decide(self, query: Query, view: ClusterView) -> Decision:
+        ...
+
+    def observe(self, record: QueryRecord) -> None:
+        ...

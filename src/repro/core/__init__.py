@@ -1,0 +1,19 @@
+"""Cottage — the paper's primary contribution.
+
+``budget`` implements Algorithm 1 (time budget determination); ``cottage``
+the coordinated policy built on the predictor bank; ``variants`` the two
+ablations of Section V-D.
+"""
+
+from repro.core.budget import BudgetDecision, BudgetInput, determine_time_budget
+from repro.core.cottage import CottagePolicy
+from repro.core.variants import CottageISNPolicy, CottageWithoutMLPolicy
+
+__all__ = [
+    "BudgetInput",
+    "BudgetDecision",
+    "determine_time_budget",
+    "CottagePolicy",
+    "CottageWithoutMLPolicy",
+    "CottageISNPolicy",
+]

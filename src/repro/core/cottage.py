@@ -1,0 +1,181 @@
+"""The Cottage policy: coordinated per-query time-budget assignment.
+
+Implements the paper's full control loop (Fig. 5): every ISN predicts its
+quality contribution (NN over Table-I features) and its service latency
+(NN over Table-II features, queue-aware per Eq. 2); the aggregator runs
+Algorithm 1 over the reported tuples, cuts zero-quality and
+slow-zero-K/2-quality ISNs, sets the minimal time budget, and boosts the
+CPU frequency of kept ISNs whose current-frequency latency exceeds it.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cpu import equivalent_latency_ms
+from repro.cluster.network import NetworkModel
+from repro.cluster.types import ClusterView, Decision
+from repro.core.budget import BudgetInput, determine_time_budget
+from repro.policies.base import BasePolicy
+from repro.predictors.bank import PredictorBank
+from repro.retrieval.query import Query
+
+
+class CottagePolicy(BasePolicy):
+    """Coordinated quality/latency-aware selection with frequency boosting."""
+
+    name = "cottage"
+
+    def __init__(
+        self,
+        bank: PredictorBank,
+        budget_slack: float = 1.3,
+        cut_confidence: float = 0.9,
+        half_cut_confidence: float = 0.75,
+        boost_margin: float = 0.8,
+        enable_boost: bool = True,
+        pivot_on_full_k: bool = False,
+        network: NetworkModel | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        bank:
+            Trained per-shard predictor bank.
+        budget_slack:
+            Multiplier applied to Algorithm 1's budget before broadcast.
+            The latency predictor is a bin classifier, so roughly half of
+            all predictions sit below the true service time; a slack of one
+            bin width (~15%) absorbs that quantization — without it, kept
+            ISNs routinely miss the deadline they were kept *for*.  Set to
+            1.0 for the paper's literal budget (ablated in
+            ``benchmarks/bench_ablation_budget_rule.py``).
+        cut_confidence:
+            Minimum softmax probability of the zero class before a
+            predicted Q^K = 0 actually cuts the ISN (stage 1 of Algorithm
+            1).  Below it the ISN is kept as a potential 1-doc contributor.
+            The paper's testbed reaches 95% quality-prediction accuracy and
+            cuts on the raw argmax; at reproduction scale labels are
+            noisier, and confidence gating recovers the paper's
+            keep-what-matters behaviour (ablated in
+            ``benchmarks/bench_ablation_confidence.py``).  Set to 0 for the
+            literal argmax rule.
+        half_cut_confidence:
+            Same gate for the stage-2 Q^{K/2} = 0 test that sacrifices
+            slow ISNs.
+        boost_margin:
+            Boost an ISN already at ``boost_margin * budget`` predicted
+            latency rather than exactly at the budget, absorbing latency
+            under-prediction (1.0 = the paper's literal rule).
+        enable_boost:
+            Ablation switch: with boosting disabled, Algorithm 1 runs on
+            current-frequency latencies and no ISN changes frequency
+            (``benchmarks/bench_ablation_boost.py``).
+        pivot_on_full_k:
+            Ablation switch: pivot stage 2 on Q^K instead of Q^{K/2} —
+            never sacrifice any top-K contributor, at the cost of a larger
+            budget (``benchmarks/bench_ablation_budget_rule.py``).
+        network:
+            Network model used to charge the predict-and-report round.
+        """
+        if not bank.trained:
+            raise ValueError("predictor bank must be trained first")
+        if budget_slack < 1.0:
+            raise ValueError("budget slack cannot shrink the budget")
+        if not 0.0 <= cut_confidence <= 1.0 or not 0.0 <= half_cut_confidence <= 1.0:
+            raise ValueError("confidence gates must be in [0, 1]")
+        self.bank = bank
+        self.budget_slack = budget_slack
+        self.cut_confidence = cut_confidence
+        self.half_cut_confidence = half_cut_confidence
+        self.boost_margin = boost_margin
+        self.enable_boost = enable_boost
+        self.pivot_on_full_k = pivot_on_full_k
+        self.network = network or NetworkModel()
+
+    # ------------------------------------------------------------------ logic
+    def budget_inputs(self, query: Query, view: ClusterView) -> list[BudgetInput]:
+        """Assemble each ISN's <Q^K, Q^{K/2}, L_current, L_boosted> tuple.
+
+        Latencies are *equivalent latencies* (Eq. 2): the ISN's queued work
+        plus this query's predicted service time, scaled to the candidate
+        frequency (Eq. 1).
+        """
+        inputs = []
+        for prediction in self.bank.predict(query):
+            queue_ms = view.queued_predicted_ms[prediction.shard_id]
+            current = equivalent_latency_ms(
+                queue_ms,
+                prediction.service_default_ms,
+                view.default_freq_ghz,
+                view.default_freq_ghz,
+            )
+            boosted = equivalent_latency_ms(
+                queue_ms,
+                prediction.service_default_ms,
+                view.default_freq_ghz,
+                view.max_freq_ghz,
+            )
+            if not self.enable_boost:
+                boosted = current
+            quality_k = self._gated(
+                prediction.quality_k, prediction.p_zero_k, self.cut_confidence
+            )
+            quality_half = self._gated(
+                prediction.quality_half_k,
+                prediction.p_zero_half,
+                self.half_cut_confidence,
+            )
+            if self.pivot_on_full_k:
+                quality_half = quality_k
+            inputs.append(
+                BudgetInput(
+                    shard_id=prediction.shard_id,
+                    quality_k=quality_k,
+                    quality_half_k=quality_half,
+                    latency_current_ms=current,
+                    latency_boosted_ms=boosted,
+                )
+            )
+        return inputs
+
+    @staticmethod
+    def _gated(count: int, p_zero: float, confidence: float) -> int:
+        """A predicted zero only counts as zero when confidently zero."""
+        if count == 0 and p_zero < confidence:
+            return 1
+        return count
+
+    def coordination_delay_ms(self) -> float:
+        """Steps 1-5 of Fig. 5: broadcast, parallel inference, report back.
+
+        Two extra one-way messages beyond the dispatch the aggregator
+        already charges, plus the slowest ISN's inference time.
+        """
+        return 2.0 * self.network.delay_ms() + self.bank.coordination_overhead_ms()
+
+    def decide(self, query: Query, view: ClusterView) -> Decision:
+        decision = determine_time_budget(
+            self.budget_inputs(query, view), boost_margin=self.boost_margin
+        )
+        if not decision.selected:
+            # Predicted zero quality everywhere — run the single most
+            # plausible shard instead of answering empty (a pure fallback;
+            # with a trained bank this is rare).
+            best = max(
+                self.bank.predict(query), key=lambda p: (p.quality_k, -p.shard_id)
+            )
+            return Decision(
+                shard_ids=(best.shard_id,),
+                coordination_delay_ms=self.coordination_delay_ms(),
+            )
+        budget = decision.time_budget_ms * self.budget_slack
+        overrides = (
+            {sid: view.max_freq_ghz for sid in decision.boosted}
+            if self.enable_boost
+            else {}
+        )
+        return Decision(
+            shard_ids=decision.selected,
+            time_budget_ms=budget,
+            frequency_overrides=overrides,
+            coordination_delay_ms=self.coordination_delay_ms(),
+        )

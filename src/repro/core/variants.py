@@ -1,0 +1,146 @@
+"""Cottage ablation variants (paper Section V-D, Fig. 15).
+
+* **Cottage-withoutML** swaps the NN quality predictors for Taily's Gamma
+  estimator while keeping everything else — quantifying what accurate
+  ML-based quality prediction buys.
+* **Cottage-ISN** removes the aggregator coordination: each ISN decides
+  alone, from purely local information, whether to participate and whether
+  to boost.  There is no global budget, so the aggregator waits for every
+  participating ISN — quantifying what the coordinated design buys.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cpu import equivalent_latency_ms
+from repro.cluster.network import NetworkModel
+from repro.cluster.types import ClusterView, Decision, QueryRecord
+from repro.core.budget import BudgetInput, determine_time_budget
+from repro.core.cottage import CottagePolicy
+from repro.policies.base import BasePolicy
+from repro.predictors.bank import PredictorBank
+from repro.predictors.gamma_quality import TailyQualityEstimator
+from repro.retrieval.query import Query
+
+
+class CottageWithoutMLPolicy(CottagePolicy):
+    """Cottage with Gamma-distribution quality estimates (no quality NN).
+
+    Latency prediction stays neural — the ablation isolates the quality
+    model, exactly as the paper describes: "utilizes the Gamma distribution
+    based prediction of Taily to estimate each ISN's quality contribution,
+    instead of using the Machine Learning (ML) model".
+    """
+
+    name = "cottage_without_ml"
+
+    def __init__(
+        self,
+        bank: PredictorBank,
+        estimator: TailyQualityEstimator,
+        budget_slack: float = 1.3,
+        network: NetworkModel | None = None,
+    ) -> None:
+        super().__init__(bank, budget_slack=budget_slack, network=network)
+        self.estimator = estimator
+
+    def budget_inputs(self, query: Query, view: ClusterView) -> list[BudgetInput]:
+        k = self.bank.k
+        gamma_k = self.estimator.quality_counts(query.terms, k)
+        gamma_half = self.estimator.quality_counts(query.terms, max(k // 2, 1))
+        inputs = []
+        for prediction in self.bank.predict(query):
+            sid = prediction.shard_id
+            queue_ms = view.queued_predicted_ms[sid]
+            current = equivalent_latency_ms(
+                queue_ms, prediction.service_default_ms,
+                view.default_freq_ghz, view.default_freq_ghz,
+            )
+            boosted = equivalent_latency_ms(
+                queue_ms, prediction.service_default_ms,
+                view.default_freq_ghz, view.max_freq_ghz,
+            )
+            inputs.append(
+                BudgetInput(
+                    shard_id=sid,
+                    quality_k=gamma_k[sid],
+                    quality_half_k=gamma_half[sid],
+                    latency_current_ms=current,
+                    latency_boosted_ms=boosted,
+                )
+            )
+        return inputs
+
+
+class CottageISNPolicy(BasePolicy):
+    """Uncoordinated variant: per-ISN local decisions, no global budget.
+
+    Each ISN, seeing only its own predictions, (a) opts out when its
+    predicted Q^K is zero and (b) boosts its own frequency when its
+    queue-aware latency exceeds its running average of past service times.
+    Without the aggregator's global view there is no time budget, so the
+    response waits for the slowest participant — the coordination gap the
+    Fig. 15 ablation measures.
+    """
+
+    name = "cottage_isn"
+
+    def __init__(
+        self,
+        bank: PredictorBank,
+        boost_over_average: float = 1.0,
+        cut_confidence: float = 0.9,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if not bank.trained:
+            raise ValueError("predictor bank must be trained first")
+        if not 0.0 <= cut_confidence <= 1.0:
+            raise ValueError("cut_confidence must be in [0, 1]")
+        self.bank = bank
+        self.boost_over_average = boost_over_average
+        self.cut_confidence = cut_confidence
+        self.network = network or NetworkModel()
+        # Running per-shard mean of observed service times — each ISN's
+        # only notion of "slow for me" without global visibility.
+        self._mean_service_ms = [10.0] * bank.n_shards
+        self._observations = [0] * bank.n_shards
+
+    def decide(self, query: Query, view: ClusterView) -> Decision:
+        selected = []
+        overrides = {}
+        for prediction in self.bank.predict(query):
+            # Same confidence-gated zero test as coordinated Cottage: this
+            # variant removes coordination, not the quality machinery.
+            if prediction.quality_k == 0 and prediction.p_zero_k >= self.cut_confidence:
+                continue
+            sid = prediction.shard_id
+            selected.append(sid)
+            local_latency = equivalent_latency_ms(
+                view.queued_predicted_ms[sid],
+                prediction.service_default_ms,
+                view.default_freq_ghz,
+                view.default_freq_ghz,
+            )
+            threshold = self.boost_over_average * self._mean_service_ms[sid]
+            if local_latency > threshold:
+                overrides[sid] = view.max_freq_ghz
+        if not selected:
+            best = max(
+                self.bank.predict(query), key=lambda p: (p.quality_k, -p.shard_id)
+            )
+            selected = [best.shard_id]
+            overrides = {}
+        return Decision(
+            shard_ids=tuple(selected),
+            frequency_overrides=overrides,
+            # Local inference only: no report-back round.
+            coordination_delay_ms=self.bank.coordination_overhead_ms(),
+        )
+
+    def observe(self, record: QueryRecord) -> None:
+        for outcome in record.outcomes:
+            sid = outcome.shard_id
+            n = self._observations[sid] + 1
+            self._observations[sid] = n
+            self._mean_service_ms[sid] += (
+                outcome.service_ms - self._mean_service_ms[sid]
+            ) / n

@@ -1,0 +1,141 @@
+"""Fig. 3 — policy comparison on a single query.
+
+Reproduces the paper's "Canada" walkthrough: for one representative mixed
+query, show each ISN's (idle) service latency and quality contribution,
+then what each of the four policy families does — exhaustive waits for the
+straggler, the aggregation policy cuts stragglers blindly, selective search
+keeps slow ISNs it should accelerate, and Cottage cuts/boosts per quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.types import ClusterView
+from repro.experiments.testbed import Testbed
+from repro.metrics.latency import percentile
+from repro.retrieval.query import Query
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    policy: str
+    selected: tuple[int, ...]
+    budget_ms: float
+    precision: float
+    boosted: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class PolicyExampleResult:
+    query_terms: tuple[str, ...]
+    service_ms: list[float]
+    contributions: list[int]
+    outcomes: list[PolicyOutcome]
+
+
+def _pick_example_query(testbed: Testbed) -> Query:
+    """A query whose straggler has zero contribution — Fig. 3's setup."""
+    truth = testbed.truth_for(testbed.wikipedia_trace)
+    best, best_score = None, -1.0
+    for query in {q.terms: q for q in testbed.wikipedia_trace}.values():
+        contrib = truth.get(query).contributions_k
+        service = [
+            testbed.cluster.service_time_ms(query, sid)
+            for sid in range(testbed.cluster.n_shards)
+        ]
+        slowest = max(range(len(service)), key=lambda s: service[s])
+        spread = max(service) / max(min(service), 1e-6)
+        if contrib.get(slowest, 0) == 0 and truth.get(query).contributing_shards() >= 3:
+            if spread > best_score:
+                best, best_score = query, spread
+    return best if best is not None else testbed.wikipedia_trace[0]
+
+
+def _precision_of(testbed: Testbed, query: Query, selected: tuple[int, ...]) -> float:
+    truth = testbed.truth_for(testbed.wikipedia_trace)
+    result = testbed.cluster.searcher.search(query, shard_ids=list(selected))
+    return truth.precision(query, result.doc_ids())
+
+
+def run(testbed: Testbed) -> PolicyExampleResult:
+    query = _pick_example_query(testbed)
+    n = testbed.cluster.n_shards
+    service = [testbed.cluster.service_time_ms(query, sid) for sid in range(n)]
+    truth = testbed.truth_for(testbed.wikipedia_trace)
+    contributions = [truth.get(query).contributions_k.get(sid, 0) for sid in range(n)]
+
+    outcomes = []
+    # Exhaustive: everything, budget = straggler.
+    all_shards = tuple(range(n))
+    outcomes.append(
+        PolicyOutcome("exhaustive", all_shards, max(service), 1.0)
+    )
+    # Aggregation policy: all shards, epoch budget cuts the latency tail.
+    budget = percentile(service, 70)
+    kept = tuple(sid for sid in all_shards if service[sid] <= budget)
+    outcomes.append(
+        PolicyOutcome("aggregation", kept, budget, _precision_of(testbed, query, kept))
+    )
+    # Selective search (Taily): quality-selected shards, straggler budget.
+    taily_sel = tuple(testbed.make_policy("taily").decide(
+        query, _idle_view(testbed)).shard_ids)
+    taily_budget = max(service[sid] for sid in taily_sel)
+    outcomes.append(
+        PolicyOutcome(
+            "selective (taily)", taily_sel, taily_budget,
+            _precision_of(testbed, query, taily_sel),
+        )
+    )
+    # Cottage: coordinated budget + boost.
+    decision = testbed.make_policy("cottage").decide(query, _idle_view(testbed))
+    boost = testbed.cluster.freq_scale.boost_ratio
+    cottage_budget = max(
+        (service[sid] / (boost if sid in decision.frequency_overrides else 1.0))
+        for sid in decision.shard_ids
+    )
+    outcomes.append(
+        PolicyOutcome(
+            "cottage",
+            decision.shard_ids,
+            cottage_budget,
+            _precision_of(testbed, query, decision.shard_ids),
+            boosted=tuple(sorted(decision.frequency_overrides)),
+        )
+    )
+    return PolicyExampleResult(
+        query_terms=query.terms,
+        service_ms=service,
+        contributions=contributions,
+        outcomes=outcomes,
+    )
+
+
+def _idle_view(testbed: Testbed) -> ClusterView:
+    n = testbed.cluster.n_shards
+    return ClusterView(
+        now_ms=0.0,
+        n_shards=n,
+        default_freq_ghz=testbed.cluster.freq_scale.default_ghz,
+        max_freq_ghz=testbed.cluster.freq_scale.max_ghz,
+        queued_predicted_ms=tuple(0.0 for _ in range(n)),
+    )
+
+
+def format_report(result: PolicyExampleResult) -> str:
+    lines = [
+        f"Fig. 3 — policy comparison for query {' '.join(result.query_terms)!r}",
+        "per-ISN idle service time (ms) and P@10 contribution:",
+    ]
+    for sid, (ms, contribution) in enumerate(
+        zip(result.service_ms, result.contributions)
+    ):
+        lines.append(f"  ISN-{sid:<2d} {ms:6.1f} ms  contributes {contribution}")
+    lines.append("policy outcomes (budget = response time in ms):")
+    for outcome in result.outcomes:
+        boosted = f" boosted={list(outcome.boosted)}" if outcome.boosted else ""
+        lines.append(
+            f"  {outcome.policy:<18} budget={outcome.budget_ms:6.1f}  "
+            f"P@10={outcome.precision:.2f}  ISNs={len(outcome.selected)}{boosted}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Fig. 11 — average P@10 search quality on both traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments import paper
+from repro.experiments.testbed import Testbed
+
+POLICIES = ("exhaustive", "taily", "rank_s", "cottage")
+
+
+@dataclass(frozen=True)
+class QualityResult:
+    p_at_10: dict[str, dict[str, float]]  # trace -> policy -> P@10
+
+
+def run(testbed: Testbed) -> QualityResult:
+    table: dict[str, dict[str, float]] = {}
+    for trace_name in ("wikipedia", "lucene"):
+        trace = getattr(testbed, f"{trace_name}_trace")
+        truth = testbed.truth_for(trace)
+        table[trace_name] = {}
+        for policy in POLICIES:
+            run_result = testbed.run(trace, policy)
+            precisions = [
+                truth.precision(record.query, record.result.doc_ids())
+                for record in run_result.records
+            ]
+            table[trace_name][policy] = float(np.mean(precisions))
+    return QualityResult(p_at_10=table)
+
+
+def format_report(result: QualityResult) -> str:
+    lines = ["Fig. 11 — average P@10"]
+    for trace_name, row in result.p_at_10.items():
+        lines.append(f"[{trace_name}]")
+        for policy, value in row.items():
+            lines.append(f"  {policy:<11} P@10={value:.3f}")
+    lines.append(
+        paper.compare("cottage P@10 (wikipedia)", paper.P10_COTTAGE_WIKI,
+                      result.p_at_10["wikipedia"]["cottage"])
+    )
+    lines.append(
+        paper.compare("cottage P@10 (lucene)", paper.P10_COTTAGE_LUCENE,
+                      result.p_at_10["lucene"]["cottage"])
+    )
+    lines.append(
+        paper.compare("taily P@10 (wikipedia)", paper.P10_TAILY_WIKI,
+                      result.p_at_10["wikipedia"]["taily"])
+    )
+    lines.append(
+        paper.compare("rank_s P@10 (max)", paper.P10_RANKS_MAX,
+                      max(result.p_at_10[t]["rank_s"] for t in result.p_at_10))
+    )
+    lines.append(
+        "  NOTE: at reproduction scale Taily's Gamma tail is accurate (shards"
+        " are ~200 docs, the top-10 sits at an easy quantile), so Taily's"
+        " quality exceeds the paper's 0.887 — see EXPERIMENTS.md."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Fig. 14 — average package power per policy, plus the idle floor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import paper
+from repro.experiments.testbed import Testbed
+from repro.metrics.summary import relative_improvement
+
+POLICIES = ("exhaustive", "taily", "rank_s", "cottage")
+
+
+@dataclass(frozen=True)
+class PowerResult:
+    power_w: dict[str, dict[str, float]]  # trace -> policy -> watts
+    idle_w: float
+
+
+def run(testbed: Testbed) -> PowerResult:
+    table: dict[str, dict[str, float]] = {}
+    idle = testbed.cluster.power_model.idle_package_w(testbed.cluster.n_shards)
+    for trace_name in ("wikipedia", "lucene"):
+        trace = getattr(testbed, f"{trace_name}_trace")
+        table[trace_name] = {
+            policy: testbed.run(trace, policy).power.average_power_w
+            for policy in POLICIES
+        }
+    return PowerResult(power_w=table, idle_w=idle)
+
+
+def format_report(result: PowerResult) -> str:
+    lines = ["Fig. 14 — average package power (W)"]
+    lines.append(f"  idle floor: {result.idle_w:.2f} W")
+    for trace_name, row in result.power_w.items():
+        lines.append(f"[{trace_name}]")
+        for policy, value in row.items():
+            lines.append(f"  {policy:<11} {value:6.2f} W")
+    wiki = result.power_w["wikipedia"]
+    lines.append(paper.compare("idle power", paper.POWER_IDLE_W, result.idle_w, " W"))
+    lines.append(
+        paper.compare("exhaustive power", paper.POWER_EXHAUSTIVE_W, wiki["exhaustive"], " W")
+    )
+    lines.append(
+        paper.compare(
+            "cottage power saving",
+            paper.POWER_SAVING_VS_EXHAUSTIVE,
+            relative_improvement(wiki["exhaustive"], wiki["cottage"]),
+        )
+    )
+    lines.append(
+        paper.compare(
+            "taily power saving",
+            paper.TAILY_POWER_SAVING,
+            relative_improvement(wiki["exhaustive"], wiki["taily"]),
+        )
+    )
+    lines.append(
+        "  NOTE: Cottage's power saving is understated at reproduction scale"
+        " — cut shards hold little of the query's work under topical"
+        " partitioning (see EXPERIMENTS.md)."
+    )
+    return "\n".join(lines)

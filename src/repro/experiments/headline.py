@@ -1,0 +1,72 @@
+"""Headline numbers — the abstract's claims, measured.
+
+Cottage vs exhaustive on the Wikipedia trace: average latency reduction,
+p95 factor, documents-searched ratio, power saving, and P@10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments import paper
+from repro.experiments.testbed import Testbed
+from repro.metrics.summary import relative_improvement, summarize_run
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    latency_reduction: float
+    latency_speedup: float
+    p95_factor: float
+    docs_ratio: float
+    power_saving: float
+    p_at_10: float
+    active_isns: float
+
+
+def run(testbed: Testbed) -> HeadlineResult:
+    trace = testbed.wikipedia_trace
+    truth = testbed.truth_for(trace)
+    exhaustive = summarize_run(testbed.run(trace, "exhaustive"), truth, trace.name)
+    cottage = summarize_run(testbed.run(trace, "cottage"), truth, trace.name)
+    return HeadlineResult(
+        latency_reduction=relative_improvement(
+            exhaustive.avg_latency_ms, cottage.avg_latency_ms
+        ),
+        latency_speedup=exhaustive.avg_latency_ms / cottage.avg_latency_ms,
+        p95_factor=exhaustive.p95_latency_ms / cottage.p95_latency_ms,
+        docs_ratio=exhaustive.avg_docs_searched / max(cottage.avg_docs_searched, 1e-9),
+        power_saving=relative_improvement(exhaustive.avg_power_w, cottage.avg_power_w),
+        p_at_10=cottage.avg_precision,
+        active_isns=cottage.avg_selected_isns,
+    )
+
+
+def format_report(result: HeadlineResult) -> str:
+    lines = ["Headline — Cottage vs exhaustive (Wikipedia trace)"]
+    lines.append(
+        paper.compare("avg latency reduction",
+                      paper.LATENCY_REDUCTION_VS_EXHAUSTIVE, result.latency_reduction)
+    )
+    lines.append(
+        paper.compare("avg latency speedup", paper.LATENCY_SPEEDUP_WIKI,
+                      result.latency_speedup)
+    )
+    lines.append(
+        paper.compare("p95 latency factor", paper.P95_IMPROVEMENT_WIKI, result.p95_factor)
+    )
+    lines.append(
+        paper.compare("documents searched ratio", paper.DOCS_SEARCHED_RATIO,
+                      result.docs_ratio)
+    )
+    lines.append(
+        paper.compare("power saving", paper.POWER_SAVING_VS_EXHAUSTIVE,
+                      result.power_saving)
+    )
+    lines.append(paper.compare("P@10", paper.P10_COTTAGE_WIKI, result.p_at_10))
+    lines.append(
+        paper.compare("active ISNs", paper.ACTIVE_ISNS_COTTAGE, result.active_isns)
+    )
+    return "\n".join(lines)

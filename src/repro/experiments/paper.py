@@ -1,0 +1,74 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Every experiment harness prints its measured values next to these
+constants; EXPERIMENTS.md records the deltas.  Values are read from the
+paper's text and figures (figure reads are approximate).
+"""
+
+from __future__ import annotations
+
+# Headline claims (abstract / conclusion).
+LATENCY_REDUCTION_VS_EXHAUSTIVE = 0.54  # average, Wikipedia trace
+LATENCY_SPEEDUP_WIKI = 2.41  # "2.41 times shorter"
+P95_IMPROVEMENT_WIKI = 2.6  # 39 ms -> 15 ms
+LATENCY_SPEEDUP_LUCENE = 2.29
+P95_IMPROVEMENT_LUCENE = 2.74
+DOCS_SEARCHED_RATIO = 2.67  # "2.67 times fewer documents"
+POWER_SAVING_VS_EXHAUSTIVE = 0.413  # 41.3% less power
+P10_COTTAGE_WIKI = 0.947
+P10_COTTAGE_LUCENE = 0.955
+
+# Fig. 10 — latency.
+EXHAUSTIVE_AVG_MS_WIKI = 17.26
+EXHAUSTIVE_P95_MS_WIKI = 39.0
+COTTAGE_P95_MS_WIKI = 15.0
+RANKS_AVG_IMPROVEMENT = 0.1112  # 11.12% vs exhaustive
+TAILY_AVG_IMPROVEMENT = 0.0116  # 1.16%
+
+# Fig. 11 — quality.
+P10_TAILY_WIKI = 0.887
+P10_TAILY_LUCENE = 0.878
+P10_RANKS_MAX = 0.709
+
+# Fig. 13 — active ISNs (of 16).
+ACTIVE_ISNS_COTTAGE = 6.81
+ACTIVE_ISNS_TAILY = 13.0
+ACTIVE_ISNS_RANKS = 11.0
+ACTIVE_ISNS_EXHAUSTIVE = 16.0
+
+# Fig. 14 — power (watts).
+POWER_IDLE_W = 14.53
+POWER_EXHAUSTIVE_W = 36.0
+POWER_TAILY_W = 25.0
+POWER_RANKS_W = 24.0
+POWER_COTTAGE_W = 21.0
+TAILY_POWER_SAVING = 0.3112
+
+# Fig. 7 / 8 — predictors.
+QUALITY_PREDICTION_ACCURACY = 0.9471  # per-ISN average (0.957 best)
+QUALITY_INFERENCE_US_MAX = 41.0
+QUALITY_TRAIN_ITERATIONS = 600
+LATENCY_PREDICTION_ACCURACY = 0.8723
+LATENCY_INFERENCE_US_AVG = 70.25
+LATENCY_TRAIN_ITERATIONS = 60
+
+# Fig. 15 — ablation.
+COTTAGE_ISN_LATENCY_FACTOR = 1.9  # Cottage-ISN latency vs Cottage
+P10_COTTAGE_WITHOUT_ML = 0.85
+ABLATION_ISN_REDUCTION_FROM_ML = 0.43  # 43% fewer active ISNs from ML
+ABLATION_CRES_REDUCTION_FROM_ML = 0.48  # 48% smaller C_RES from ML
+
+# Fig. 2 — workload variation.
+TYPICAL_CONTRIBUTING_ISNS = 8  # modal value, of 16
+LATENCY_HISTOGRAM_MODE_RANGE_MS = (5.0, 10.0)
+LATENCY_HISTOGRAM_MODE_FRACTION = 0.356
+
+# Fig. 4 — frequency scaling (measured on one hot query).
+FREQ_SWEEP_SPEEDUP = 2.43  # 97 ms @ 1.2 GHz -> 40 ms @ 2.7 GHz
+FREQ_MIN_GHZ = 1.2
+FREQ_MAX_GHZ = 2.7
+
+
+def compare(name: str, paper: float, measured: float, unit: str = "") -> str:
+    """One aligned 'paper vs measured' report line."""
+    return f"  {name:<44} paper={paper:<10.4g} measured={measured:.4g}{unit}"

@@ -1,0 +1,60 @@
+"""Inverted-index substrate.
+
+Everything an ISN needs to hold and search its partition of the collection:
+document model, posting lists with DAAT cursors, the index builder, the
+immutable shard, index-time term statistics (the feature source for the
+Cottage predictors), document-allocation policies, and the Central Sample
+Index used by the Rank-S baseline.
+"""
+
+from repro.index.builder import (
+    CollectionStats,
+    IndexBuilder,
+    build_shards,
+    gather_collection_stats,
+)
+from repro.index.csi import CentralSampleIndex, SampledHit
+from repro.index.documents import Document, DocumentStore
+from repro.index.partitioner import (
+    PARTITIONERS,
+    partition,
+    partition_hash,
+    partition_random,
+    partition_round_robin,
+    partition_topical,
+)
+from repro.index.postings import END_OF_LIST, PostingCursor, PostingList, PostingListBuilder
+from repro.index.shard import BLOCK_SIZE, IndexShard, ShardTerm
+from repro.index.storage import load_shard, load_shards, save_shard, save_shards
+from repro.index.term_stats import TermStats, TermStatsIndex, compute_term_stats
+
+__all__ = [
+    "Document",
+    "DocumentStore",
+    "PostingList",
+    "PostingCursor",
+    "PostingListBuilder",
+    "END_OF_LIST",
+    "IndexBuilder",
+    "build_shards",
+    "CollectionStats",
+    "gather_collection_stats",
+    "IndexShard",
+    "ShardTerm",
+    "BLOCK_SIZE",
+    "save_shard",
+    "load_shard",
+    "save_shards",
+    "load_shards",
+    "TermStats",
+    "TermStatsIndex",
+    "compute_term_stats",
+    "partition",
+    "partition_round_robin",
+    "partition_random",
+    "partition_hash",
+    "partition_topical",
+    "PARTITIONERS",
+    "CentralSampleIndex",
+    "SampledHit",
+]

@@ -1,0 +1,177 @@
+"""Index construction: documents in, immutable IndexShard out."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.index.documents import Document
+from repro.index.postings import PostingListBuilder
+from repro.index.shard import IndexShard, ShardTerm
+from repro.scoring.similarity import BM25Similarity, Similarity
+from repro.text.analyzer import Analyzer, StandardAnalyzer
+
+
+@dataclass
+class CollectionStats:
+    """Collection-wide statistics for distributed (global-IDF) scoring.
+
+    Solr/Lucene distributed search can score each shard against global
+    term statistics so scores are comparable across shards; that mode is
+    the default here because the aggregator merges shard results by raw
+    score.  Built by :func:`gather_collection_stats` over all shards'
+    buffered documents before any shard is finalized.
+    """
+
+    n_docs: int = 0
+    total_tokens: int = 0
+    doc_freq: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def avg_doc_length(self) -> float:
+        return self.total_tokens / self.n_docs if self.n_docs else 0.0
+
+
+class IndexBuilder:
+    """Single-pass in-memory indexer for one shard.
+
+    Usage::
+
+        builder = IndexBuilder(shard_id=0)
+        for doc in docs:
+            builder.add(doc)
+        shard = builder.build()
+
+    Documents may be added in any order; the builder sorts by doc id before
+    constructing posting lists (posting lists must be doc-id ordered for the
+    DAAT evaluators).  Pass ``stats`` from :func:`gather_collection_stats`
+    to score with global statistics (the default in :func:`build_shards`).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        analyzer: Analyzer | None = None,
+        similarity: Similarity | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.analyzer = analyzer or StandardAnalyzer()
+        self.similarity = similarity or BM25Similarity()
+        self._docs: dict[int, list[str]] = {}
+
+    def add(self, doc: Document) -> None:
+        """Analyze and buffer one document."""
+        if doc.doc_id in self._docs:
+            raise ValueError(f"duplicate doc_id {doc.doc_id} in shard {self.shard_id}")
+        self._docs[doc.doc_id] = self.analyzer.analyze(doc.full_text())
+
+    def add_all(self, docs: Iterable[Document]) -> None:
+        for doc in docs:
+            self.add(doc)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def local_stats(self) -> CollectionStats:
+        """This builder's contribution to the collection statistics."""
+        stats = CollectionStats()
+        stats.n_docs = len(self._docs)
+        for tokens in self._docs.values():
+            stats.total_tokens += len(tokens)
+            for term in set(tokens):
+                stats.doc_freq[term] = stats.doc_freq.get(term, 0) + 1
+        return stats
+
+    def build(self, stats: CollectionStats | None = None) -> IndexShard:
+        """Construct the immutable shard from everything added so far.
+
+        With ``stats`` the shard scores against global document frequency
+        and average length; without, against its local statistics only.
+        """
+        doc_ids = sorted(self._docs)
+        doc_lengths = {doc_id: len(self._docs[doc_id]) for doc_id in doc_ids}
+        total_tokens = sum(doc_lengths.values())
+        n_docs = len(doc_ids)
+        avg_dl_local = total_tokens / n_docs if n_docs else 0.0
+
+        score_n_docs = stats.n_docs if stats is not None else n_docs
+        score_avg_dl = stats.avg_doc_length if stats is not None else avg_dl_local
+
+        posting_builders: dict[str, PostingListBuilder] = {}
+        for doc_id in doc_ids:
+            for term, tf in sorted(Counter(self._docs[doc_id]).items()):
+                posting_builders.setdefault(term, PostingListBuilder()).add(doc_id, tf)
+
+        shard = IndexShard(
+            shard_id=self.shard_id,
+            n_docs=n_docs,
+            avg_doc_length=avg_dl_local,
+            total_tokens=total_tokens,
+            doc_lengths=doc_lengths,
+            similarity=self.similarity,
+            n_docs_global=score_n_docs,
+        )
+        for term, pb in posting_builders.items():
+            postings = pb.build()
+            df = (
+                stats.doc_freq.get(term, len(postings))
+                if stats is not None
+                else len(postings)
+            )
+            lengths = np.asarray(
+                [doc_lengths[int(d)] for d in postings.doc_ids], dtype=np.float64
+            )
+            scores = self.similarity.scores(
+                postings.tfs, lengths, df, score_n_docs, score_avg_dl
+            )
+            upper = self.similarity.upper_bound(
+                postings.max_tf, df, score_n_docs, score_avg_dl
+            )
+            # Precomputed scores can exceed the analytic bound only through
+            # floating error; clamp the bound so pruning stays admissible.
+            upper = max(upper, float(scores.max()) if scores.size else 0.0)
+            shard._terms[term] = ShardTerm(
+                term=term,
+                postings=postings,
+                scores=scores,
+                upper_bound=upper,
+                global_doc_freq=df,
+            )
+        return shard
+
+
+def gather_collection_stats(builders: list[IndexBuilder]) -> CollectionStats:
+    """Merge every builder's local statistics into global collection stats."""
+    merged = CollectionStats()
+    for builder in builders:
+        local = builder.local_stats()
+        merged.n_docs += local.n_docs
+        merged.total_tokens += local.total_tokens
+        for term, df in local.doc_freq.items():
+            merged.doc_freq[term] = merged.doc_freq.get(term, 0) + df
+    return merged
+
+
+def build_shards(
+    doc_groups: list[list[Document]],
+    analyzer: Analyzer | None = None,
+    similarity: Similarity | None = None,
+    global_stats: bool = True,
+) -> list[IndexShard]:
+    """Build one shard per document group (the output of a partitioner).
+
+    ``global_stats=True`` (default) scores every shard against collection-
+    wide statistics — Solr's distributed-IDF mode — so the aggregator's
+    score-based merge is exact.  Disable to reproduce per-shard (local-IDF)
+    scoring.
+    """
+    builders = []
+    for shard_id, group in enumerate(doc_groups):
+        builder = IndexBuilder(shard_id, analyzer=analyzer, similarity=similarity)
+        builder.add_all(group)
+        builders.append(builder)
+    stats = gather_collection_stats(builders) if global_stats else None
+    return [builder.build(stats) for builder in builders]

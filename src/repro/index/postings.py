@@ -1,0 +1,187 @@
+"""Posting lists and DAAT cursors.
+
+Posting lists are stored as parallel numpy arrays sorted by document id.
+The cursor API (``doc()``, ``next()``, ``next_geq()``) is the contract the
+document-at-a-time evaluators in :mod:`repro.retrieval` are written against;
+``next_geq`` uses galloping search so WAND/MaxScore skipping is sub-linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# Sentinel document id signalling an exhausted cursor; larger than any real id.
+END_OF_LIST: int = 2**62
+
+
+@dataclass(frozen=True)
+class PostingList:
+    """Immutable posting list for one term on one shard.
+
+    Attributes
+    ----------
+    doc_ids:
+        Document ids in strictly increasing order.
+    tfs:
+        Term frequencies aligned with ``doc_ids``.
+    """
+
+    doc_ids: np.ndarray
+    tfs: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.doc_ids.shape != self.tfs.shape:
+            raise ValueError("doc_ids and tfs must be the same length")
+        if self.doc_ids.size > 1 and not np.all(np.diff(self.doc_ids) > 0):
+            raise ValueError("doc_ids must be strictly increasing")
+
+    def __len__(self) -> int:
+        return int(self.doc_ids.size)
+
+    @property
+    def max_tf(self) -> int:
+        return int(self.tfs.max()) if self.tfs.size else 0
+
+    def cursor(self) -> "PostingCursor":
+        return PostingCursor(self)
+
+
+class PostingCursor:
+    """Forward-only cursor over one posting list.
+
+    A fresh cursor is positioned on the first posting (or at end for an
+    empty list).  ``weight`` and ``scores`` are attached by the evaluator
+    before traversal begins.
+    """
+
+    __slots__ = (
+        "_doc_ids", "_tfs", "_pos", "_size",
+        "scores", "upper_bound", "block_maxes", "block_size",
+    )
+
+    def __init__(self, postings: PostingList) -> None:
+        self._doc_ids = postings.doc_ids
+        self._tfs = postings.tfs
+        self._size = int(postings.doc_ids.size)
+        self._pos = 0
+        self.scores: np.ndarray | None = None
+        self.upper_bound: float = 0.0
+        self.block_maxes: np.ndarray | None = None
+        self.block_size: int = 0
+
+    def doc(self) -> int:
+        """Current document id, or END_OF_LIST when exhausted."""
+        if self._pos >= self._size:
+            return END_OF_LIST
+        return int(self._doc_ids[self._pos])
+
+    def tf(self) -> int:
+        return int(self._tfs[self._pos])
+
+    def score(self) -> float:
+        """Score of the current posting (requires ``scores`` attached)."""
+        assert self.scores is not None, "scores not attached to cursor"
+        return float(self.scores[self._pos])
+
+    def next(self) -> int:
+        """Advance one posting; return the new current doc id."""
+        self._pos += 1
+        return self.doc()
+
+    def next_geq(self, target: int) -> int:
+        """Advance to the first posting with doc id >= ``target``.
+
+        Galloping (exponential) search from the current position followed by
+        a bisect keeps total skipping cost O(log gap), which is what gives
+        MaxScore/WAND their edge over exhaustive traversal.
+        """
+        if self._pos >= self._size:
+            return END_OF_LIST
+        if int(self._doc_ids[self._pos]) >= target:
+            return int(self._doc_ids[self._pos])
+        # Gallop: find a bracket [lo, hi) with doc_ids[hi] >= target.
+        lo = self._pos
+        step = 1
+        hi = lo + step
+        while hi < self._size and int(self._doc_ids[hi]) < target:
+            lo = hi
+            step <<= 1
+            hi = lo + step
+        hi = min(hi, self._size)
+        self._pos = lo + int(np.searchsorted(self._doc_ids[lo:hi], target, side="left"))
+        if self._pos >= self._size:
+            # The bracket may end before target is found when target exceeds
+            # everything in [lo, hi) but hi == size.
+            return END_OF_LIST
+        if int(self._doc_ids[self._pos]) < target:
+            self._pos = int(
+                np.searchsorted(self._doc_ids, target, side="left")
+            )
+        return self.doc()
+
+    def exhausted(self) -> bool:
+        return self._pos >= self._size
+
+    @property
+    def position(self) -> int:
+        """Index of the current posting (== list length when exhausted)."""
+        return min(self._pos, self._size)
+
+    # ------------------------------------------------------- block metadata
+    def block_max(self) -> float:
+        """Max score within the block containing the current posting.
+
+        Requires ``block_maxes``/``block_size`` attached (the evaluator
+        copies them from the shard).  Exhausted cursors contribute nothing.
+        """
+        assert self.block_maxes is not None and self.block_size > 0
+        if self._pos >= self._size:
+            return 0.0
+        return float(self.block_maxes[self._pos // self.block_size])
+
+    def block_last_doc(self) -> int:
+        """Doc id of the last posting in the current block."""
+        assert self.block_size > 0
+        if self._pos >= self._size:
+            return END_OF_LIST
+        block = self._pos // self.block_size
+        end = min((block + 1) * self.block_size, self._size) - 1
+        return int(self._doc_ids[end])
+
+    def remaining(self) -> int:
+        return max(self._size - self._pos, 0)
+
+
+class PostingListBuilder:
+    """Accumulates (doc_id, tf) pairs during indexing, emits a PostingList.
+
+    Documents must be added in increasing doc-id order — the index builder
+    guarantees this by iterating its accepted documents in sorted order.
+    """
+
+    __slots__ = ("_doc_ids", "_tfs", "_last_doc")
+
+    def __init__(self) -> None:
+        self._doc_ids: list[int] = []
+        self._tfs: list[int] = []
+        self._last_doc = -1
+
+    def add(self, doc_id: int, tf: int) -> None:
+        if doc_id <= self._last_doc:
+            raise ValueError(
+                f"postings must be added in increasing doc order "
+                f"(got {doc_id} after {self._last_doc})"
+            )
+        if tf <= 0:
+            raise ValueError("tf must be positive")
+        self._doc_ids.append(doc_id)
+        self._tfs.append(tf)
+        self._last_doc = doc_id
+
+    def build(self) -> PostingList:
+        return PostingList(
+            doc_ids=np.asarray(self._doc_ids, dtype=np.int64),
+            tfs=np.asarray(self._tfs, dtype=np.int32),
+        )

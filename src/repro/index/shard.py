@@ -1,0 +1,124 @@
+"""The per-ISN index shard.
+
+A shard is the complete, immutable index an Index Serving Node searches:
+term dictionary, posting lists, precomputed per-posting scores, per-term
+upper bounds, and the collection statistics every similarity needs.  Scores
+are precomputed at build time (they depend only on shard-static quantities),
+which is both faster and exactly what impact-ordered production indexes do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.index.postings import PostingList
+from repro.scoring.similarity import Similarity
+
+
+BLOCK_SIZE = 64
+"""Postings per block for block-max metadata (Ding & Suel, SIGIR'11)."""
+
+
+@dataclass
+class ShardTerm:
+    """Everything the shard stores for one term.
+
+    ``global_doc_freq`` is the term's document frequency across the whole
+    collection when the index was built with distributed statistics
+    (Solr's global-IDF mode); it equals the local ``doc_freq`` otherwise.
+    ``block_maxes`` holds the maximum score within each ``BLOCK_SIZE``-
+    posting block — the metadata Block-Max WAND skips with.
+    """
+
+    term: str
+    postings: PostingList
+    scores: np.ndarray
+    upper_bound: float
+    global_doc_freq: int = 0
+    block_maxes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.global_doc_freq < len(self.postings):
+            self.global_doc_freq = len(self.postings)
+        if self.block_maxes is None and self.scores.size:
+            n_blocks = (self.scores.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+            padded = np.full(n_blocks * BLOCK_SIZE, -np.inf)
+            padded[: self.scores.size] = self.scores
+            self.block_maxes = padded.reshape(n_blocks, BLOCK_SIZE).max(axis=1)
+
+    @property
+    def doc_freq(self) -> int:
+        return len(self.postings)
+
+
+@dataclass
+class IndexShard:
+    """Immutable searchable index for one ISN.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of this shard in the cluster (the paper's "ISN-j").
+    n_docs, avg_doc_length, total_tokens:
+        Collection statistics, fixed at build time.
+    doc_lengths:
+        Global doc id -> analyzed token count, for documents on this shard.
+    similarity:
+        The ranking function the stored scores were computed with.
+    """
+
+    shard_id: int
+    n_docs: int
+    avg_doc_length: float
+    total_tokens: int
+    doc_lengths: dict[int, int]
+    similarity: Similarity
+    n_docs_global: int = 0
+    _terms: dict[str, ShardTerm] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_docs_global < self.n_docs:
+            self.n_docs_global = self.n_docs
+
+    def has_term(self, term: str) -> bool:
+        return term in self._terms
+
+    def term(self, term: str) -> ShardTerm | None:
+        return self._terms.get(term)
+
+    def doc_freq(self, term: str) -> int:
+        entry = self._terms.get(term)
+        return entry.doc_freq if entry is not None else 0
+
+    def idf(self, term: str) -> float:
+        """IDF under the statistics the index was built with (global when
+        distributed stats were used, local otherwise)."""
+        entry = self._terms.get(term)
+        df = entry.global_doc_freq if entry is not None else 0
+        return self.similarity.idf(df, max(self.n_docs_global, 1))
+
+    def postings(self, term: str) -> PostingList | None:
+        entry = self._terms.get(term)
+        return entry.postings if entry is not None else None
+
+    def scores(self, term: str) -> np.ndarray | None:
+        entry = self._terms.get(term)
+        return entry.scores if entry is not None else None
+
+    def upper_bound(self, term: str) -> float:
+        entry = self._terms.get(term)
+        return entry.upper_bound if entry is not None else 0.0
+
+    def vocabulary_size(self) -> int:
+        return len(self._terms)
+
+    def terms(self) -> list[str]:
+        return list(self._terms.keys())
+
+    def contains_doc(self, doc_id: int) -> bool:
+        return doc_id in self.doc_lengths
+
+    def __len__(self) -> int:
+        return self.n_docs

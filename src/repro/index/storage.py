@@ -1,0 +1,155 @@
+"""Index persistence.
+
+Shards serialize to single ``.npz`` files: posting data is packed into
+flat arrays with per-term offsets (the on-disk layout real engines use),
+plus the collection statistics and the similarity configuration needed to
+reconstruct an identical, searchable :class:`IndexShard`.  Block-max
+metadata is derived, so it is rebuilt on load rather than stored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.index.shard import IndexShard, ShardTerm
+from repro.index.postings import PostingList
+from repro.scoring.similarity import (
+    BM25Similarity,
+    LMDirichletSimilarity,
+    Similarity,
+    TFIDFSimilarity,
+)
+
+_SIMILARITIES = {
+    "BM25Similarity": BM25Similarity,
+    "TFIDFSimilarity": TFIDFSimilarity,
+    "LMDirichletSimilarity": LMDirichletSimilarity,
+}
+
+
+def _similarity_config(similarity: Similarity) -> dict:
+    name = type(similarity).__name__
+    if name not in _SIMILARITIES:
+        raise ValueError(f"cannot serialize similarity {name!r}")
+    params = {
+        key: value
+        for key, value in vars(similarity).items()
+        if isinstance(value, (int, float))
+    }
+    return {"name": name, "params": params}
+
+
+def _similarity_from_config(config: dict) -> Similarity:
+    try:
+        cls = _SIMILARITIES[config["name"]]
+    except KeyError:
+        raise ValueError(f"unknown similarity {config['name']!r}") from None
+    return cls(**config["params"])
+
+
+def save_shard(shard: IndexShard, path: str | Path) -> None:
+    """Write one shard to ``path`` (a ``.npz`` file)."""
+    terms = sorted(shard.terms())
+    offsets = np.zeros(len(terms) + 1, dtype=np.int64)
+    doc_chunks, tf_chunks, score_chunks = [], [], []
+    upper_bounds = np.zeros(len(terms))
+    global_dfs = np.zeros(len(terms), dtype=np.int64)
+    for i, term in enumerate(terms):
+        entry = shard.term(term)
+        offsets[i + 1] = offsets[i] + len(entry.postings)
+        doc_chunks.append(entry.postings.doc_ids)
+        tf_chunks.append(entry.postings.tfs)
+        score_chunks.append(entry.scores)
+        upper_bounds[i] = entry.upper_bound
+        global_dfs[i] = entry.global_doc_freq
+
+    doc_length_ids = np.asarray(sorted(shard.doc_lengths), dtype=np.int64)
+    doc_length_values = np.asarray(
+        [shard.doc_lengths[int(d)] for d in doc_length_ids], dtype=np.int64
+    )
+    meta = {
+        "shard_id": shard.shard_id,
+        "n_docs": shard.n_docs,
+        "avg_doc_length": shard.avg_doc_length,
+        "total_tokens": shard.total_tokens,
+        "n_docs_global": shard.n_docs_global,
+        "similarity": _similarity_config(shard.similarity),
+        "format_version": 1,
+    }
+    np.savez_compressed(
+        path,
+        terms=np.asarray(terms, dtype="U"),
+        offsets=offsets,
+        doc_ids=(
+            np.concatenate(doc_chunks) if doc_chunks else np.zeros(0, dtype=np.int64)
+        ),
+        tfs=np.concatenate(tf_chunks) if tf_chunks else np.zeros(0, dtype=np.int32),
+        scores=(
+            np.concatenate(score_chunks) if score_chunks else np.zeros(0)
+        ),
+        upper_bounds=upper_bounds,
+        global_dfs=global_dfs,
+        doc_length_ids=doc_length_ids,
+        doc_length_values=doc_length_values,
+        meta=np.asarray(json.dumps(meta)),
+    )
+
+
+def load_shard(path: str | Path) -> IndexShard:
+    """Reconstruct a shard saved by :func:`save_shard`."""
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        if meta.get("format_version") != 1:
+            raise ValueError(f"unsupported shard format in {path}")
+        shard = IndexShard(
+            shard_id=int(meta["shard_id"]),
+            n_docs=int(meta["n_docs"]),
+            avg_doc_length=float(meta["avg_doc_length"]),
+            total_tokens=int(meta["total_tokens"]),
+            doc_lengths={
+                int(doc): int(length)
+                for doc, length in zip(
+                    data["doc_length_ids"], data["doc_length_values"]
+                )
+            },
+            similarity=_similarity_from_config(meta["similarity"]),
+            n_docs_global=int(meta["n_docs_global"]),
+        )
+        offsets = data["offsets"]
+        doc_ids = data["doc_ids"]
+        tfs = data["tfs"]
+        scores = data["scores"]
+        for i, term in enumerate(data["terms"]):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            shard._terms[str(term)] = ShardTerm(
+                term=str(term),
+                postings=PostingList(
+                    doc_ids=doc_ids[lo:hi].copy(), tfs=tfs[lo:hi].copy()
+                ),
+                scores=scores[lo:hi].copy(),
+                upper_bound=float(data["upper_bounds"][i]),
+                global_doc_freq=int(data["global_dfs"][i]),
+            )
+    return shard
+
+
+def save_shards(shards: list[IndexShard], directory: str | Path) -> None:
+    """Write a whole cluster's shards as ``shard_<id>.npz`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for shard in shards:
+        save_shard(shard, directory / f"shard_{shard.shard_id}.npz")
+
+
+def load_shards(directory: str | Path) -> list[IndexShard]:
+    """Load every ``shard_*.npz`` in ``directory``, ordered by shard id."""
+    directory = Path(directory)
+    paths = sorted(
+        directory.glob("shard_*.npz"), key=lambda p: int(p.stem.split("_")[1])
+    )
+    if not paths:
+        raise FileNotFoundError(f"no shard files in {directory}")
+    return [load_shard(path) for path in paths]

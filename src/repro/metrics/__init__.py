@@ -1,0 +1,32 @@
+"""Evaluation metrics: P@K ground truth, latency statistics, run summaries."""
+
+from repro.metrics.latency import latency_histogram, mean, percentile, timeline
+from repro.metrics.quality import GroundTruth, QueryTruth, precision_at_k
+from repro.metrics.significance import (
+    BootstrapResult,
+    compare_latencies,
+    paired_bootstrap,
+)
+from repro.metrics.summary import (
+    PolicySummary,
+    comparison_table,
+    relative_improvement,
+    summarize_run,
+)
+
+__all__ = [
+    "precision_at_k",
+    "QueryTruth",
+    "GroundTruth",
+    "percentile",
+    "mean",
+    "latency_histogram",
+    "timeline",
+    "PolicySummary",
+    "summarize_run",
+    "comparison_table",
+    "relative_improvement",
+    "BootstrapResult",
+    "paired_bootstrap",
+    "compare_latencies",
+]

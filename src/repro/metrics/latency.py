@@ -1,0 +1,58 @@
+"""Latency statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def percentile(values: list[float] | np.ndarray, q: float) -> float:
+    """q-th percentile (q in [0, 100]) with linear interpolation."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    return float(np.percentile(arr, q))
+
+
+def mean(values: list[float] | np.ndarray) -> float:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no values")
+    return float(arr.mean())
+
+
+def latency_histogram(
+    values_ms: list[float] | np.ndarray, bin_width_ms: float = 5.0
+) -> list[tuple[float, float, int]]:
+    """Fixed-width latency bins as (lo, hi, count) — the Fig. 2a view."""
+    if bin_width_ms <= 0:
+        raise ValueError("bin width must be positive")
+    arr = np.asarray(values_ms, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    top = float(arr.max())
+    n_bins = max(int(np.ceil(top / bin_width_ms)), 1)
+    edges = np.arange(0.0, (n_bins + 1) * bin_width_ms, bin_width_ms)
+    counts, _ = np.histogram(arr, bins=edges)
+    return [
+        (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+        for i in range(len(counts))
+    ]
+
+
+def timeline(
+    arrivals_s: list[float], latencies_ms: list[float], bucket_s: float = 10.0
+) -> list[tuple[float, float]]:
+    """Average latency per time bucket — the Fig. 10(a)/(c) series."""
+    if len(arrivals_s) != len(latencies_ms):
+        raise ValueError("arrival and latency vectors must align")
+    if bucket_s <= 0:
+        raise ValueError("bucket must be positive")
+    buckets: dict[int, list[float]] = {}
+    for t, lat in zip(arrivals_s, latencies_ms):
+        buckets.setdefault(int(t // bucket_s), []).append(lat)
+    return [
+        (idx * bucket_s, float(np.mean(vals)))
+        for idx, vals in sorted(buckets.items())
+    ]

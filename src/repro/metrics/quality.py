@@ -1,0 +1,94 @@
+"""Search-quality metrics and exhaustive ground truth.
+
+P@K follows the paper's usage: the fraction of the exhaustive global top-K
+that a policy's response actually returned.  Exhaustive search scores every
+document, so its P@K is 1.0 by construction — the same normalization the
+paper uses ("since every document ... will be retrieved in exhaustive
+search, its P@10 search quality is always 1").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.retrieval.query import Query
+from repro.retrieval.searcher import DistributedSearcher
+
+
+def precision_at_k(returned: list[int], truth: list[int], k: int) -> float:
+    """|top-k of returned ∩ top-k of truth| / k."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not truth:
+        return 1.0  # nothing to find: any response is vacuously perfect
+    truth_set = set(truth[:k])
+    hit = sum(1 for doc_id in returned[:k] if doc_id in truth_set)
+    return hit / min(k, len(truth_set)) if len(truth_set) < k else hit / k
+
+
+@dataclass
+class QueryTruth:
+    """Exhaustive ground truth for one distinct query."""
+
+    top_k: list[int]
+    contributions_k: dict[int, int]
+    contributions_half_k: dict[int, int]
+
+    def contributing_shards(self) -> int:
+        return sum(1 for count in self.contributions_k.values() if count > 0)
+
+
+@dataclass
+class GroundTruth:
+    """Exhaustive top-K results and per-shard contributions, per query.
+
+    Keyed by the query's term tuple so repeated trace occurrences of the
+    same query share one entry.
+    """
+
+    k: int
+    _by_terms: dict[tuple[str, ...], QueryTruth] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        searcher: DistributedSearcher,
+        queries: list[Query],
+        k: int | None = None,
+    ) -> "GroundTruth":
+        k = k or searcher.k
+        truth = cls(k=k)
+        for query in queries:
+            truth.ensure(searcher, query)
+        return truth
+
+    def ensure(self, searcher: DistributedSearcher, query: Query) -> QueryTruth:
+        entry = self._by_terms.get(query.terms)
+        if entry is None:
+            merged = searcher.search(query)
+            entry = QueryTruth(
+                top_k=merged.doc_ids()[: self.k],
+                contributions_k=searcher.shard_contributions(query, self.k),
+                contributions_half_k=searcher.shard_contributions(
+                    query, max(self.k // 2, 1)
+                ),
+            )
+            self._by_terms[query.terms] = entry
+        return entry
+
+    def get(self, query: Query) -> QueryTruth:
+        try:
+            return self._by_terms[query.terms]
+        except KeyError:
+            raise KeyError(
+                f"no ground truth for query {query.terms!r}; call ensure() first"
+            ) from None
+
+    def __contains__(self, query: Query) -> bool:
+        return query.terms in self._by_terms
+
+    def __len__(self) -> int:
+        return len(self._by_terms)
+
+    def precision(self, query: Query, returned: list[int]) -> float:
+        return precision_at_k(returned, self.get(query).top_k, self.k)

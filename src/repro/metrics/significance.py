@@ -1,0 +1,87 @@
+"""Statistical significance for policy comparisons.
+
+Single-trace comparisons can mislead: latency distributions are heavy-
+tailed and queue waits are autocorrelated.  Paired bootstrap over
+per-query differences gives confidence intervals that respect both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A bootstrap confidence interval for a mean difference."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    n_samples: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the interval excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def paired_bootstrap(
+    baseline: list[float] | np.ndarray,
+    treatment: list[float] | np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapResult:
+    """CI for mean(baseline - treatment) over paired per-query values.
+
+    Positive differences mean the treatment improved on the baseline
+    (e.g. baseline latencies minus Cottage latencies).  Pairs must come
+    from the same queries in the same order — the standard setup when two
+    policies replay one trace.
+    """
+    baseline = np.asarray(baseline, dtype=np.float64)
+    treatment = np.asarray(treatment, dtype=np.float64)
+    if baseline.shape != treatment.shape or baseline.ndim != 1:
+        raise ValueError("need two aligned 1-D sample vectors")
+    if baseline.size < 2:
+        raise ValueError("need at least two pairs")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 100:
+        raise ValueError("need at least 100 resamples")
+
+    differences = baseline - treatment
+    rng = np.random.default_rng(seed)
+    indexes = rng.integers(0, differences.size, size=(n_resamples, differences.size))
+    means = differences[indexes].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapResult(
+        mean_difference=float(differences.mean()),
+        ci_low=float(low),
+        ci_high=float(high),
+        confidence=confidence,
+        n_samples=int(differences.size),
+    )
+
+
+def compare_latencies(
+    baseline_run, treatment_run, confidence: float = 0.95, seed: int = 0
+) -> BootstrapResult:
+    """Paired bootstrap over two runs of the *same trace*.
+
+    Queries are paired by query id; both runs must cover the identical
+    trace (the Testbed's memoized runs always do).
+    """
+    base = {r.query.query_id: r.latency_ms for r in baseline_run.records}
+    treat = {r.query.query_id: r.latency_ms for r in treatment_run.records}
+    if set(base) != set(treat):
+        raise ValueError("runs cover different query sets; same trace required")
+    ids = sorted(base)
+    return paired_bootstrap(
+        [base[i] for i in ids], [treat[i] for i in ids],
+        confidence=confidence, seed=seed,
+    )

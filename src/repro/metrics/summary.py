@@ -1,0 +1,101 @@
+"""Policy-level run summaries — the numbers every evaluation figure reports.
+
+``summarize_run`` reduces one simulated trace run to the metric vector the
+paper plots across Figs. 10-15: average/tail latency, average P@K, active
+ISNs, C_RES and package power.  ``comparison_table`` renders a set of
+summaries as the aligned text table the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.engine import RunResult
+from repro.metrics.latency import mean, percentile
+from repro.metrics.quality import GroundTruth
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """One policy's aggregate outcome on one trace."""
+
+    policy: str
+    trace: str
+    n_queries: int
+    avg_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    avg_precision: float
+    avg_selected_isns: float
+    avg_counted_isns: float
+    avg_docs_searched: float
+    avg_power_w: float
+
+    def row(self) -> dict[str, float | str | int]:
+        return {
+            "policy": self.policy,
+            "queries": self.n_queries,
+            "avg_ms": round(self.avg_latency_ms, 2),
+            "p95_ms": round(self.p95_latency_ms, 2),
+            "P@K": round(self.avg_precision, 3),
+            "ISNs": round(self.avg_selected_isns, 2),
+            "C_RES": round(self.avg_docs_searched, 1),
+            "power_W": round(self.avg_power_w, 2),
+        }
+
+
+def summarize_run(
+    run: RunResult, truth: GroundTruth, trace_name: str = ""
+) -> PolicySummary:
+    """Reduce a run to its headline metrics against exhaustive ground truth."""
+    if not run.records:
+        raise ValueError("run produced no records")
+    latencies = np.asarray(run.latencies_ms())
+    precisions = [
+        truth.precision(record.query, record.result.doc_ids())
+        for record in run.records
+    ]
+    return PolicySummary(
+        policy=run.policy_name,
+        trace=trace_name,
+        n_queries=len(run.records),
+        avg_latency_ms=mean(latencies),
+        p50_latency_ms=percentile(latencies, 50),
+        p95_latency_ms=percentile(latencies, 95),
+        p99_latency_ms=percentile(latencies, 99),
+        avg_precision=float(np.mean(precisions)),
+        avg_selected_isns=float(np.mean([r.n_selected for r in run.records])),
+        avg_counted_isns=float(np.mean([r.n_counted for r in run.records])),
+        avg_docs_searched=float(np.mean([r.docs_searched for r in run.records])),
+        avg_power_w=run.power.average_power_w,
+    )
+
+
+def comparison_table(summaries: list[PolicySummary], title: str = "") -> str:
+    """Aligned text table over :meth:`PolicySummary.row` columns."""
+    if not summaries:
+        raise ValueError("nothing to tabulate")
+    rows = [s.row() for s in summaries]
+    columns = list(rows[0].keys())
+    widths = {
+        col: max(len(col), *(len(str(row[col])) for row in rows)) for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.rjust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(row[col]).rjust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """Fractional reduction of ``improved`` vs ``baseline`` (0.54 = -54%)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - improved) / baseline

@@ -1,0 +1,37 @@
+"""From-scratch numpy neural network framework.
+
+Stands in for the TensorFlow/Keras stack the paper trained its predictors
+with: dense layers, ReLU, dropout, sparse categorical cross-entropy, Adam,
+a Sequential container with a mini-batch training loop, and standard feature
+scaling.  ``mlp_classifier`` builds the paper's exact 5x128 ReLU topology.
+"""
+
+from repro.nn.layers import Dense, Dropout, Layer, ReLU
+from repro.nn.losses import (
+    Loss,
+    MeanSquaredError,
+    SparseCategoricalCrossentropy,
+    softmax,
+)
+from repro.nn.model import Sequential, TrainingHistory, mlp_classifier
+from repro.nn.optimizers import SGD, Adam, Optimizer, StepDecay
+from repro.nn.scaler import StandardScaler
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Dropout",
+    "Loss",
+    "SparseCategoricalCrossentropy",
+    "MeanSquaredError",
+    "softmax",
+    "Sequential",
+    "TrainingHistory",
+    "mlp_classifier",
+    "Optimizer",
+    "Adam",
+    "SGD",
+    "StepDecay",
+    "StandardScaler",
+]

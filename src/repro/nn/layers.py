@@ -1,0 +1,120 @@
+"""Neural network layers (numpy, CPU).
+
+A minimal Keras-like layer API: ``forward`` caches whatever ``backward``
+needs; ``backward`` receives dL/d(output) and returns dL/d(input), storing
+parameter gradients on the layer.  This is all the paper's predictors need —
+5 hidden Dense+ReLU layers and a softmax classification head.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Layer(ABC):
+    """Base layer."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute outputs for a batch ``x`` of shape (batch, features)."""
+
+    @abstractmethod
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate; return dL/d(input), store parameter grads."""
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """(parameter, gradient) pairs; empty for stateless layers."""
+        return []
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Serializable parameter arrays."""
+        return {}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters from :meth:`state` output."""
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Weights use He initialization (appropriate for the ReLU stacks the
+    paper's models are built from); the RNG is injected for reproducible
+    training runs.
+    """
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator | None = None
+    ) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.W = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.b = np.zeros(out_features)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before forward(training=True)"
+        self.dW[...] = self._x.T @ grad_out
+        self.db[...] = grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return [(self.W, self.dW), (self.b, self.db)]
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {"W": self.W, "b": self.b}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        if state["W"].shape != self.W.shape or state["b"].shape != self.b.shape:
+            raise ValueError("state shapes do not match layer shapes")
+        self.W[...] = state["W"]
+        self.b[...] = state["b"]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._mask is not None, "backward before forward(training=True)"
+        return grad_out * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

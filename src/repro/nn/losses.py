@@ -1,0 +1,62 @@
+"""Loss functions.
+
+The paper trains both predictors with sparse categorical cross-entropy
+(Section III-B); the softmax is fused into the loss for numerical stability,
+so models output raw logits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class Loss(ABC):
+    """Loss interface: value plus gradient w.r.t. the model output."""
+
+    @abstractmethod
+    def compute(self, outputs: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        """Return (mean loss, dL/d(outputs))."""
+
+
+class SparseCategoricalCrossentropy(Loss):
+    """Cross-entropy over integer class targets, with fused softmax."""
+
+    def compute(self, outputs: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.int64)
+        n, n_classes = outputs.shape
+        if targets.shape != (n,):
+            raise ValueError("targets must be a vector of batch-size class ids")
+        if targets.min(initial=0) < 0 or targets.max(initial=0) >= n_classes:
+            raise ValueError("target class out of range")
+        probs = softmax(outputs)
+        picked = probs[np.arange(n), targets]
+        loss = float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+        grad = probs
+        grad[np.arange(n), targets] -= 1.0
+        return loss, grad / n
+
+    def predict_classes(self, outputs: np.ndarray) -> np.ndarray:
+        return np.argmax(outputs, axis=1)
+
+
+class MeanSquaredError(Loss):
+    """Plain MSE, used by regression-flavoured ablations."""
+
+    def compute(self, outputs: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if outputs.shape != targets.shape:
+            raise ValueError("outputs and targets must have the same shape")
+        diff = outputs - targets
+        loss = float(np.mean(diff**2))
+        return loss, 2.0 * diff / diff.size

@@ -1,0 +1,175 @@
+"""Sequential model container with a Keras-like training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Dense, Layer, ReLU
+from repro.nn.losses import Loss, SparseCategoricalCrossentropy, softmax
+from repro.nn.optimizers import Adam, Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration training record (one iteration = one mini-batch step).
+
+    ``eval_iterations``/``eval_accuracy`` record periodic held-out
+    evaluations — the data behind the paper's accuracy-vs-iterations curves
+    (Fig. 7a / Fig. 8a).
+    """
+
+    loss: list[float] = field(default_factory=list)
+    eval_iterations: list[int] = field(default_factory=list)
+    eval_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.loss)
+
+
+class Sequential:
+    """A stack of layers trained with mini-batch gradient descent.
+
+    Mirrors the slice of the Keras API the paper uses: construct, ``fit``
+    with a loss and optimizer, ``predict_classes``, save/load.
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("model needs at least one layer")
+        self.layers = layers
+
+    # ---------------------------------------------------------------- fwd/bwd
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        if out.ndim == 1:
+            out = out[None, :]
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> None:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        params: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    # ---------------------------------------------------------------- training
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        iterations: int = 200,
+        batch_size: int = 64,
+        loss: Loss | None = None,
+        optimizer: Optimizer | None = None,
+        seed: int = 0,
+        eval_set: tuple[np.ndarray, np.ndarray] | None = None,
+        eval_every: int = 0,
+    ) -> TrainingHistory:
+        """Train for a fixed number of mini-batch iterations.
+
+        The paper reports training in "iterations" (600 for the quality
+        model, 60 for latency), so the loop is iteration-based rather than
+        epoch-based; batches are sampled with reshuffling each pass.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        loss = loss or SparseCategoricalCrossentropy()
+        optimizer = optimizer or Adam()
+        rng = np.random.default_rng(seed)
+        history = TrainingHistory()
+
+        n = x.shape[0]
+        order = rng.permutation(n)
+        cursor = 0
+        for it in range(iterations):
+            if cursor + batch_size > n:
+                order = rng.permutation(n)
+                cursor = 0
+            batch = order[cursor : cursor + batch_size]
+            cursor += batch_size
+            outputs = self.forward(x[batch], training=True)
+            value, grad = loss.compute(outputs, y[batch])
+            self.backward(grad)
+            optimizer.step(self.parameters())
+            history.loss.append(value)
+            if eval_every and eval_set is not None and (it + 1) % eval_every == 0:
+                history.eval_iterations.append(it + 1)
+                history.eval_accuracy.append(self.accuracy(*eval_set))
+        return history
+
+    # ---------------------------------------------------------------- inference
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Raw logits."""
+        return self.forward(x, training=False)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return softmax(self.predict(x))
+
+    def predict_classes(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict_classes(x) == np.asarray(y)))
+
+    # ---------------------------------------------------------------- persistence
+    def state(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for key, value in layer.state().items():
+                state[f"layer{i}.{key}"] = value
+        return state
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for i, layer in enumerate(self.layers):
+            prefix = f"layer{i}."
+            layer_state = {
+                key[len(prefix):]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+            if layer_state:
+                layer.load_state(layer_state)
+
+    def save(self, path: str | Path) -> None:
+        np.savez(path, **self.state())
+
+    def load(self, path: str | Path) -> None:
+        with np.load(path) as data:
+            self.load_state({key: data[key] for key in data.files})
+
+
+def mlp_classifier(
+    n_features: int,
+    n_classes: int,
+    hidden_layers: int = 5,
+    hidden_units: int = 128,
+    seed: int = 0,
+) -> Sequential:
+    """The paper's predictor architecture.
+
+    "a NN model with 5-hidden layers ... each hidden layer has 128 neurons
+    and uses the ReLU activation function" (Section III-B).  The output
+    layer emits logits; softmax lives in the loss.
+    """
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = []
+    width_in = n_features
+    for _ in range(hidden_layers):
+        layers.append(Dense(width_in, hidden_units, rng=rng))
+        layers.append(ReLU())
+        width_in = hidden_units
+    layers.append(Dense(width_in, n_classes, rng=rng))
+    return Sequential(layers)

@@ -1,0 +1,31 @@
+"""Personalized search (the paper's stated extension).
+
+Section III-B: "If personalized search is adopted by the service provider,
+the document scores will also be determined by customized term weights
+besides the term itself.  Typically, we will give personalized term-weights
+for each person based on the user profile.  In such a case, our prediction
+features have to be extended to include user-profile related features."
+
+This package implements exactly that extension: per-user term-weight
+profiles, profile-weighted retrieval (scores scale per term, so pruning
+bounds stay admissible), and the profile-extended Table-I/II feature
+vectors.
+"""
+
+from repro.personalization.profiles import UserProfile
+from repro.personalization.search import (
+    PersonalizedSearcher,
+    personalized_search,
+)
+from repro.personalization.features import (
+    PERSONALIZED_QUALITY_FEATURE_NAMES,
+    personalized_quality_features,
+)
+
+__all__ = [
+    "UserProfile",
+    "personalized_search",
+    "PersonalizedSearcher",
+    "PERSONALIZED_QUALITY_FEATURE_NAMES",
+    "personalized_quality_features",
+]

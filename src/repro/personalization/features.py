@@ -1,0 +1,38 @@
+"""Profile-extended predictor features.
+
+The paper: "our prediction features have to be extended to include
+user-profile related features".  The extension appends three profile
+aggregates to the Table-I vector — the max, mean and min term weight over
+the query — enough for a quality model to learn how personalization shifts
+each shard's contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.term_stats import TermStatsIndex
+from repro.personalization.profiles import UserProfile
+from repro.predictors.features import QUALITY_FEATURE_NAMES, quality_features
+
+PROFILE_FEATURE_NAMES: tuple[str, ...] = (
+    "profile_max_term_weight",
+    "profile_mean_term_weight",
+    "profile_min_term_weight",
+)
+
+PERSONALIZED_QUALITY_FEATURE_NAMES: tuple[str, ...] = (
+    QUALITY_FEATURE_NAMES + PROFILE_FEATURE_NAMES
+)
+
+
+def personalized_quality_features(
+    terms: tuple[str, ...] | list[str],
+    stats: TermStatsIndex,
+    profile: UserProfile,
+) -> np.ndarray:
+    """Table-I features plus the query's profile-weight aggregates."""
+    base = quality_features(terms, stats)
+    weights = np.asarray(profile.weights_for(terms))
+    extension = np.array([weights.max(), weights.mean(), weights.min()])
+    return np.concatenate([base, extension])

@@ -1,0 +1,52 @@
+"""User profiles: per-term score multipliers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Personalized term weights for one user.
+
+    A weight above 1 boosts documents matching that term; below 1 damps
+    them; absent terms weigh 1.0 (neutral).  Weights multiply the base
+    similarity score per term, the standard personalization hook the paper
+    sketches.
+    """
+
+    user_id: str
+    term_weights: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for term, weight in self.term_weights.items():
+            if weight < 0.0:
+                raise ValueError(f"negative weight for term {term!r}")
+
+    def weight(self, term: str) -> float:
+        return self.term_weights.get(term, 1.0)
+
+    def weights_for(self, terms: tuple[str, ...] | list[str]) -> list[float]:
+        return [self.weight(term) for term in terms]
+
+    @classmethod
+    def neutral(cls, user_id: str = "anonymous") -> "UserProfile":
+        return cls(user_id=user_id)
+
+    @classmethod
+    def from_interests(
+        cls, user_id: str, interests: dict[str, float]
+    ) -> "UserProfile":
+        """Build a profile from interest strengths in [0, 1].
+
+        Interest s maps to weight 1 + s (interest 1.0 doubles the term's
+        contribution) — a simple monotone mapping; the retrieval layer only
+        requires non-negative multipliers.
+        """
+        for term, strength in interests.items():
+            if not 0.0 <= strength <= 1.0:
+                raise ValueError(f"interest for {term!r} must be in [0, 1]")
+        return cls(
+            user_id=user_id,
+            term_weights={term: 1.0 + s for term, s in interests.items()},
+        )

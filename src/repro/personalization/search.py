@@ -1,0 +1,105 @@
+"""Profile-weighted retrieval.
+
+Personalized scores are ``weight(term) * base_score(term, doc)``: the
+weighting is per-term, so per-term upper bounds scale by the same factor
+and MaxScore/WAND pruning stays admissible.  The implementation scales
+each term's precomputed score array once per (query, profile) and runs the
+vectorized disjunctive evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.shard import IndexShard
+from repro.personalization.profiles import UserProfile
+from repro.retrieval.query import Query
+from repro.retrieval.result import CostStats, SearchResult, merge_results
+
+
+def personalized_search(
+    shard: IndexShard,
+    terms: list[str] | tuple[str, ...],
+    k: int,
+    profile: UserProfile,
+) -> SearchResult:
+    """Top-k disjunctive evaluation with profile-weighted term scores."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    doc_arrays = []
+    score_arrays = []
+    n_postings = 0
+    for term in terms:
+        entry = shard.term(term)
+        if entry is None:
+            continue
+        weight = profile.weight(term)
+        doc_arrays.append(entry.postings.doc_ids)
+        score_arrays.append(entry.scores * weight)
+        n_postings += len(entry.postings)
+    if not doc_arrays:
+        return SearchResult(hits=[], cost=CostStats(n_terms=len(terms)))
+
+    all_docs = np.concatenate(doc_arrays)
+    all_scores = np.concatenate(score_arrays)
+    unique_docs, inverse = np.unique(all_docs, return_inverse=True)
+    totals = np.zeros(unique_docs.size)
+    np.add.at(totals, inverse, all_scores)
+    order = np.lexsort((unique_docs, -totals))[: min(k, unique_docs.size)]
+    hits = [(int(unique_docs[i]), float(totals[i])) for i in order]
+    return SearchResult(
+        hits=hits,
+        cost=CostStats(
+            docs_evaluated=int(unique_docs.size),
+            postings_scored=n_postings,
+            n_terms=len(terms),
+        ),
+    )
+
+
+class PersonalizedSearcher:
+    """Distributed profile-weighted retrieval over a shard list.
+
+    The cross-shard merge stays exact because every shard applies the same
+    per-term weights to globally comparable scores.
+    """
+
+    def __init__(self, shards: list[IndexShard], k: int = 10) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.k = k
+
+    def search(
+        self,
+        query: Query,
+        profile: UserProfile,
+        shard_ids: list[int] | None = None,
+    ) -> SearchResult:
+        if shard_ids is None:
+            shard_ids = list(range(len(self.shards)))
+        per_shard = [
+            personalized_search(self.shards[sid], query.terms, self.k, profile)
+            for sid in shard_ids
+        ]
+        return merge_results(per_shard, self.k)
+
+    def shard_contributions(self, query: Query, profile: UserProfile) -> dict[int, int]:
+        """Per-shard counts in the personalized global top-k (the quality
+        labels a personalized Cottage deployment would train on)."""
+        per_shard = {
+            sid: set(
+                personalized_search(
+                    self.shards[sid], query.terms, self.k, profile
+                ).doc_ids()
+            )
+            for sid in range(len(self.shards))
+        }
+        merged = self.search(query, profile)
+        counts = {sid: 0 for sid in range(len(self.shards))}
+        for doc_id, _ in merged.hits:
+            for sid, docs in per_shard.items():
+                if doc_id in docs:
+                    counts[sid] += 1
+                    break
+        return counts

@@ -1,0 +1,66 @@
+"""Epoch-based aggregation policy (Yun et al. SIGIR'15 / Tailcut style).
+
+Broadcasts to every ISN but enforces a single time budget for all queries
+in an epoch, chosen from the previous epoch's latency distribution.  The
+paper's Fig. 3(b) criticism applies by design: stragglers are dropped with
+no regard to their quality contribution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cluster.types import ClusterView, Decision, QueryRecord
+from repro.metrics.latency import percentile
+from repro.policies.base import BasePolicy
+from repro.retrieval.query import Query
+
+
+class AggregationPolicy(BasePolicy):
+    """Fixed per-epoch budget cutting the latency tail.
+
+    Parameters
+    ----------
+    budget_percentile:
+        Which percentile of the previous epoch's client latencies becomes
+        the next epoch's budget ("a time budget ... produces the best
+        latency improvement for most of the queries during a short time
+        period").
+    epoch_queries:
+        Epoch length, in completed queries.
+    initial_budget_ms:
+        Budget used until the first epoch completes.
+    """
+
+    name = "aggregation"
+
+    def __init__(
+        self,
+        budget_percentile: float = 70.0,
+        epoch_queries: int = 50,
+        initial_budget_ms: float = 50.0,
+    ) -> None:
+        if not 0.0 < budget_percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if epoch_queries < 1:
+            raise ValueError("epoch must be at least one query")
+        if initial_budget_ms <= 0:
+            raise ValueError("initial budget must be positive")
+        self.budget_percentile = budget_percentile
+        self.epoch_queries = epoch_queries
+        self.budget_ms = initial_budget_ms
+        self._window: deque[float] = deque(maxlen=epoch_queries)
+        self._since_update = 0
+
+    def decide(self, query: Query, view: ClusterView) -> Decision:
+        return Decision(
+            shard_ids=tuple(range(view.n_shards)),
+            time_budget_ms=self.budget_ms,
+        )
+
+    def observe(self, record: QueryRecord) -> None:
+        self._window.append(record.latency_ms)
+        self._since_update += 1
+        if self._since_update >= self.epoch_queries and self._window:
+            self.budget_ms = max(percentile(list(self._window), self.budget_percentile), 1.0)
+            self._since_update = 0

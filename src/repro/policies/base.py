@@ -1,0 +1,29 @@
+"""Policy base class."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.cluster.types import ClusterView, Decision, QueryRecord
+from repro.retrieval.query import Query
+
+
+class BasePolicy(ABC):
+    """Common scaffolding for ISN-selection policies.
+
+    Subclasses implement :meth:`decide`; :meth:`observe` is an optional
+    feedback hook (the epoch-based aggregation baseline uses it to learn
+    its budget from completed queries).
+    """
+
+    name: str = "base"
+
+    @abstractmethod
+    def decide(self, query: Query, view: ClusterView) -> Decision:
+        """Choose ISNs, time budget and frequencies for one query."""
+
+    def observe(self, record: QueryRecord) -> None:
+        """Feedback after a query completes.  Default: ignore."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,20 @@
+"""Exhaustive search: every ISN, no budget (the paper's baseline)."""
+
+from __future__ import annotations
+
+from repro.cluster.types import ClusterView, Decision
+from repro.policies.base import BasePolicy
+from repro.retrieval.query import Query
+
+
+class ExhaustivePolicy(BasePolicy):
+    """Broadcast to all ISNs and wait for the slowest.
+
+    P@K is 1 by construction; latency is the straggler's, power the
+    highest of all policies — the upper-left anchor of every figure.
+    """
+
+    name = "exhaustive"
+
+    def decide(self, query: Query, view: ClusterView) -> Decision:
+        return Decision(shard_ids=tuple(range(view.n_shards)))

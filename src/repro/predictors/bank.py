@@ -1,0 +1,269 @@
+"""The per-ISN predictor bank.
+
+Each ISN in the paper runs its own quality and latency models, trained on
+its own index data ("each ISN has a separate neural network model trained
+with its own index data").  The bank owns all per-shard models — a
+Quality-K model, a Quality-K/2 model and a latency model per shard — trains
+them, and serves the <Q^K, Q^{K/2}, L> prediction tuples Algorithm 1
+consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.engine import SearchCluster
+from repro.index.term_stats import TermStatsIndex
+from repro.metrics.quality import GroundTruth
+from repro.predictors.datasets import build_latency_dataset, build_quality_dataset
+from repro.predictors.features import latency_features, quality_features
+from repro.predictors.latency import LatencyBinning, LatencyPredictor
+from repro.predictors.quality import QualityPredictor
+from repro.retrieval.query import Query
+
+
+@dataclass(frozen=True)
+class ISNPrediction:
+    """One ISN's report for one query (paper Fig. 5 step 3).
+
+    ``p_zero_k``/``p_zero_half`` are the quality models' softmax
+    probabilities of the zero class — the confidence behind a "this shard
+    contributes nothing" call.  Policies use them to cut only on confident
+    zeros (see CottagePolicy.cut_confidence).
+    """
+
+    shard_id: int
+    quality_k: int
+    quality_half_k: int
+    service_default_ms: float
+    p_zero_k: float = 1.0
+    p_zero_half: float = 1.0
+
+
+@dataclass
+class TrainingReport:
+    """Per-shard held-out accuracy and inference cost after training."""
+
+    quality_accuracy: list[float] = field(default_factory=list)
+    quality_half_accuracy: list[float] = field(default_factory=list)
+    latency_accuracy: list[float] = field(default_factory=list)
+    quality_inference_us: list[float] = field(default_factory=list)
+    latency_inference_us: list[float] = field(default_factory=list)
+
+    @property
+    def mean_quality_accuracy(self) -> float:
+        return float(np.mean(self.quality_accuracy))
+
+    @property
+    def mean_latency_accuracy(self) -> float:
+        return float(np.mean(self.latency_accuracy))
+
+
+class PredictorBank:
+    """All per-shard predictors for one cluster, plus their stats indexes."""
+
+    def __init__(
+        self,
+        cluster: SearchCluster,
+        k: int | None = None,
+        binning: LatencyBinning | None = None,
+        hidden_layers: int = 5,
+        hidden_units: int = 128,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.k = k or cluster.k
+        self.hidden_layers = hidden_layers
+        self.hidden_units = hidden_units
+        self.stats_indexes = [
+            TermStatsIndex(shard, k=self.k) for shard in cluster.shards
+        ]
+        self.quality_k_models = [
+            QualityPredictor(self.k, hidden_layers, hidden_units, seed=seed + sid)
+            for sid in range(cluster.n_shards)
+        ]
+        half = max(self.k // 2, 1)
+        self.quality_half_models = [
+            QualityPredictor(half, hidden_layers, hidden_units, seed=seed + 100 + sid)
+            for sid in range(cluster.n_shards)
+        ]
+        self.latency_models = [
+            LatencyPredictor(binning, hidden_layers, hidden_units, seed=seed + 200 + sid)
+            for sid in range(cluster.n_shards)
+        ]
+        self.trained = False
+        self._prediction_cache: dict[tuple[str, ...], list[ISNPrediction]] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return self.cluster.n_shards
+
+    # ------------------------------------------------------------- training
+    def train(
+        self,
+        queries: list[Query],
+        truth: GroundTruth | None = None,
+        quality_iterations: int = 600,
+        latency_iterations: int = 300,
+        holdout: float = 0.2,
+        seed: int = 0,
+    ) -> TrainingReport:
+        """Train every per-shard model; report held-out accuracy.
+
+        ``truth`` is built from the cluster's own exhaustive searcher when
+        not supplied.
+        """
+        if len(queries) < 10:
+            raise ValueError("need at least 10 training queries")
+        if truth is None:
+            truth = GroundTruth.build(self.cluster.searcher, queries, k=self.k)
+        report = TrainingReport()
+        for sid in range(self.n_shards):
+            stats = self.stats_indexes[sid]
+            q_data = build_quality_dataset(sid, stats, queries, truth)
+            l_data = build_latency_dataset(sid, stats, self.cluster, queries)
+            q_train, q_test = q_data.split(holdout, seed=seed)
+            l_train, l_test = l_data.split(holdout, seed=seed)
+
+            self.quality_k_models[sid].fit(
+                q_train.features, q_train.labels_k,
+                iterations=quality_iterations, seed=seed,
+            )
+            self.quality_half_models[sid].fit(
+                q_train.features, q_train.labels_half_k,
+                iterations=quality_iterations, seed=seed,
+            )
+            self.latency_models[sid].fit(
+                l_train.features, l_train.service_ms,
+                iterations=latency_iterations, seed=seed,
+            )
+
+            report.quality_accuracy.append(
+                self.quality_k_models[sid].accuracy(q_test.features, q_test.labels_k)
+            )
+            report.quality_half_accuracy.append(
+                self.quality_half_models[sid].accuracy(
+                    q_test.features, q_test.labels_half_k
+                )
+            )
+            report.latency_accuracy.append(
+                self.latency_models[sid].accuracy(l_test.features, l_test.service_ms)
+            )
+            report.quality_inference_us.append(
+                self.quality_k_models[sid].inference_time_us(q_test.features[0])
+            )
+            report.latency_inference_us.append(
+                self.latency_models[sid].inference_time_us(l_test.features[0])
+            )
+        self.trained = True
+        self._prediction_cache.clear()
+        return report
+
+    # ------------------------------------------------------------- inference
+    def predict(self, query: Query) -> list[ISNPrediction]:
+        """All ISNs' <Q^K, Q^{K/2}, L_default> reports for one query.
+
+        Predictions are memoized per distinct query: the underlying index
+        is immutable, so the reports never change across a trace replay.
+        """
+        if not self.trained:
+            raise RuntimeError("predictor bank has not been trained")
+        cached = self._prediction_cache.get(query.terms)
+        if cached is not None:
+            return cached
+        predictions = []
+        for sid in range(self.n_shards):
+            stats = self.stats_indexes[sid]
+            q_feat = quality_features(query.terms, stats)
+            l_feat = latency_features(query.terms, stats)
+            count_k, p_zero_k = self.quality_k_models[sid].predict_with_zero_prob(q_feat)
+            count_half, p_zero_half = self.quality_half_models[
+                sid
+            ].predict_with_zero_prob(q_feat)
+            predictions.append(
+                ISNPrediction(
+                    shard_id=sid,
+                    quality_k=count_k,
+                    quality_half_k=count_half,
+                    service_default_ms=self.latency_models[sid].predict_one_ms(l_feat),
+                    p_zero_k=p_zero_k,
+                    p_zero_half=p_zero_half,
+                )
+            )
+        self._prediction_cache[query.terms] = predictions
+        return predictions
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path: str | Path) -> None:
+        """Write every trained per-shard model to one ``.npz`` file."""
+        if not self.trained:
+            raise RuntimeError("cannot save an untrained bank")
+        arrays: dict[str, np.ndarray] = {}
+        for sid in range(self.n_shards):
+            for prefix, model in (
+                (f"shard{sid}.quality_k", self.quality_k_models[sid]),
+                (f"shard{sid}.quality_half", self.quality_half_models[sid]),
+                (f"shard{sid}.latency", self.latency_models[sid]),
+            ):
+                for key, value in model.state().items():
+                    arrays[f"{prefix}.{key}"] = value
+        meta = {
+            "k": self.k,
+            "n_shards": self.n_shards,
+            "hidden_layers": self.hidden_layers,
+            "hidden_units": self.hidden_units,
+            "format_version": 1,
+        }
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path, cluster: SearchCluster) -> "PredictorBank":
+        """Reconstruct a trained bank saved by :meth:`save`.
+
+        ``cluster`` must be built from the same shards the bank was
+        trained on (the term-statistics feature source lives there).
+        """
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            if meta.get("format_version") != 1:
+                raise ValueError(f"unsupported bank format in {path}")
+            if meta["n_shards"] != cluster.n_shards:
+                raise ValueError(
+                    f"bank was trained on {meta['n_shards']} shards, cluster has "
+                    f"{cluster.n_shards}"
+                )
+            bank = cls(
+                cluster,
+                k=int(meta["k"]),
+                hidden_layers=int(meta["hidden_layers"]),
+                hidden_units=int(meta["hidden_units"]),
+            )
+            states: dict[str, dict[str, np.ndarray]] = {}
+            for key in data.files:
+                if key == "meta":
+                    continue
+                prefix, rest = key.split(".", 2)[0:2], key.split(".", 2)[2]
+                states.setdefault(".".join(prefix), {})[rest] = data[key]
+            for sid in range(bank.n_shards):
+                bank.quality_k_models[sid].load_state(states[f"shard{sid}.quality_k"])
+                bank.quality_half_models[sid].load_state(
+                    states[f"shard{sid}.quality_half"]
+                )
+                bank.latency_models[sid].load_state(states[f"shard{sid}.latency"])
+        bank.trained = True
+        return bank
+
+    def coordination_overhead_ms(self) -> float:
+        """Aggregator-visible cost of the predict-and-report round.
+
+        ISNs predict in parallel, so the round costs the slowest ISN's
+        quality+latency inference.  The paper measures ~41 us + ~70 us;
+        a conservative fixed 0.15 ms stands in (the numpy inference times
+        measured by the training report are of the same order).
+        """
+        return 0.15

@@ -1,0 +1,129 @@
+"""Probability calibration analysis for the quality predictors.
+
+Cottage's confidence-gated cutting (see CottagePolicy.cut_confidence)
+trusts the quality model's softmax probability of the zero class.  That
+trust is only justified if the probability is *calibrated*: among ISNs
+reported zero with confidence ~p, a fraction ~p should truly contribute
+nothing.  This module computes reliability diagrams and the expected
+calibration error (ECE) for the zero-class probabilities, and
+``benchmarks/bench_ext_calibration.py`` reports them for a trained bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.quality import GroundTruth
+from repro.predictors.bank import PredictorBank
+from repro.predictors.features import quality_features
+from repro.retrieval.query import Query
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One confidence bucket of the reliability diagram."""
+
+    lo: float
+    hi: float
+    mean_predicted: float
+    empirical_rate: float
+    count: int
+
+    @property
+    def gap(self) -> float:
+        """|confidence - accuracy| for this bucket."""
+        return abs(self.mean_predicted - self.empirical_rate)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Reliability diagram + summary error for one predictor population."""
+
+    bins: tuple[ReliabilityBin, ...]
+    expected_calibration_error: float
+    n_samples: int
+
+    def render(self) -> str:
+        lines = ["  confidence      empirical  count"]
+        for b in self.bins:
+            lines.append(
+                f"  [{b.lo:.2f},{b.hi:.2f})  p={b.mean_predicted:.3f}  "
+                f"true={b.empirical_rate:.3f}  {b.count:5d}"
+            )
+        lines.append(f"  ECE = {self.expected_calibration_error:.4f}")
+        return "\n".join(lines)
+
+
+def reliability(
+    predicted: np.ndarray, outcomes: np.ndarray, n_bins: int = 10
+) -> CalibrationReport:
+    """Reliability diagram of predicted probabilities vs binary outcomes.
+
+    ``predicted[i]`` is the model's probability that event i happens;
+    ``outcomes[i]`` is whether it did.  Empty buckets are dropped.
+    """
+    predicted = np.asarray(predicted, dtype=np.float64)
+    outcomes = np.asarray(outcomes, dtype=bool)
+    if predicted.shape != outcomes.shape:
+        raise ValueError("predicted and outcomes must align")
+    if predicted.size == 0:
+        raise ValueError("no samples")
+    if np.any((predicted < 0) | (predicted > 1)):
+        raise ValueError("probabilities must be in [0, 1]")
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = []
+    ece = 0.0
+    for i in range(n_bins):
+        lo, hi = float(edges[i]), float(edges[i + 1])
+        if i == n_bins - 1:
+            mask = (predicted >= lo) & (predicted <= hi)
+        else:
+            mask = (predicted >= lo) & (predicted < hi)
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        mean_p = float(predicted[mask].mean())
+        rate = float(outcomes[mask].mean())
+        bins.append(
+            ReliabilityBin(
+                lo=lo, hi=hi, mean_predicted=mean_p,
+                empirical_rate=rate, count=count,
+            )
+        )
+        ece += (count / predicted.size) * abs(mean_p - rate)
+    return CalibrationReport(
+        bins=tuple(bins),
+        expected_calibration_error=float(ece),
+        n_samples=int(predicted.size),
+    )
+
+
+def zero_class_calibration(
+    bank: PredictorBank,
+    queries: list[Query],
+    truth: GroundTruth | None = None,
+    n_bins: int = 10,
+) -> CalibrationReport:
+    """Calibration of the bank's P(zero contribution) across all shards.
+
+    Pools (query, shard) samples: the prediction is each quality-K model's
+    zero-class probability, the outcome is whether the shard truly
+    contributed nothing to the exhaustive top-K.
+    """
+    if truth is None:
+        truth = GroundTruth.build(bank.cluster.searcher, queries, k=bank.k)
+    predicted = []
+    outcomes = []
+    for query in queries:
+        contributions = truth.get(query).contributions_k
+        for sid in range(bank.n_shards):
+            features = quality_features(query.terms, bank.stats_indexes[sid])
+            _, p_zero = bank.quality_k_models[sid].predict_with_zero_prob(features)
+            predicted.append(p_zero)
+            outcomes.append(contributions.get(sid, 0) == 0)
+    return reliability(np.asarray(predicted), np.asarray(outcomes), n_bins=n_bins)

@@ -1,0 +1,119 @@
+"""Query feature extraction — the paper's Tables I and II.
+
+Every feature derives from index-time term statistics
+(:class:`repro.index.TermStatsIndex`).  Multi-term queries aggregate
+per-term values with the MAX operator, the choice the paper makes for
+phrase features ("In our experiments, we choose the MAX operator to
+calculate the phrase features"), except the query-length feature which is
+the term count itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.term_stats import TermStats, TermStatsIndex
+
+# Table I — features for quality prediction, in order.
+QUALITY_FEATURE_NAMES: tuple[str, ...] = (
+    "first_quartile_score",
+    "arithmetic_average_score",
+    "median_score",
+    "geometric_average_score",
+    "harmonic_average_score",
+    "third_quartile_score",
+    "kth_score",
+    "max_score",
+    "score_variance",
+    "posting_list_length",
+)
+
+# Table II — features for latency prediction, in order.
+LATENCY_FEATURE_NAMES: tuple[str, ...] = (
+    "posting_list_length",
+    "docs_ever_in_top_k",
+    "n_local_score_maxima",
+    "n_local_score_maxima_above_mean",
+    "n_max_score",
+    "query_length",
+    "docs_within_5pct_of_max_score",
+    "docs_within_5pct_of_kth_score",
+    "arithmetic_average_score",
+    "geometric_average_score",
+    "harmonic_average_score",
+    "max_score",
+    "estimated_max_score",
+    "score_variance",
+    "idf",
+)
+
+
+def _quality_row(stats: TermStats) -> np.ndarray:
+    return np.array(
+        [
+            stats.first_quartile,
+            stats.mean,
+            stats.median,
+            stats.geometric_mean,
+            stats.harmonic_mean,
+            stats.third_quartile,
+            stats.kth_score,
+            stats.max_score,
+            stats.variance,
+            float(stats.posting_length),
+        ]
+    )
+
+
+def _latency_row(stats: TermStats, query_length: int) -> np.ndarray:
+    return np.array(
+        [
+            float(stats.posting_length),
+            float(stats.docs_ever_in_topk),
+            float(stats.n_local_maxima),
+            float(stats.n_local_maxima_above_mean),
+            float(stats.n_max_score),
+            float(query_length),
+            float(stats.docs_within_5pct_of_max),
+            float(stats.docs_within_5pct_of_kth),
+            stats.mean,
+            stats.geometric_mean,
+            stats.harmonic_mean,
+            stats.max_score,
+            stats.estimated_max_score,
+            stats.variance,
+            stats.idf,
+        ]
+    )
+
+
+def quality_features(terms: tuple[str, ...] | list[str], stats: TermStatsIndex) -> np.ndarray:
+    """Table-I feature vector for one query on one shard (MAX-aggregated)."""
+    if not terms:
+        raise ValueError("query has no terms")
+    rows = np.stack([_quality_row(stats.get(term)) for term in terms])
+    return rows.max(axis=0)
+
+
+def latency_features(terms: tuple[str, ...] | list[str], stats: TermStatsIndex) -> np.ndarray:
+    """Table-II feature vector for one query on one shard (MAX-aggregated,
+    query length passed through untouched)."""
+    if not terms:
+        raise ValueError("query has no terms")
+    rows = np.stack([_latency_row(stats.get(term), len(terms)) for term in terms])
+    return rows.max(axis=0)
+
+
+def feature_table(
+    terms: tuple[str, ...] | list[str], stats: TermStatsIndex, which: str = "quality"
+) -> list[tuple[str, float]]:
+    """Human-readable (name, value) pairs, used by the Table I/II benches."""
+    if which == "quality":
+        vector = quality_features(terms, stats)
+        names = QUALITY_FEATURE_NAMES
+    elif which == "latency":
+        vector = latency_features(terms, stats)
+        names = LATENCY_FEATURE_NAMES
+    else:
+        raise ValueError("which must be 'quality' or 'latency'")
+    return list(zip(names, (float(v) for v in vector)))

@@ -1,0 +1,110 @@
+"""Regression-mode latency predictor (design-choice ablation).
+
+The paper frames latency prediction as classification over latency bins
+("more neurons on the output layer due to the higher variability").  The
+obvious alternative is a single-output regressor.  This class implements
+it — same Table-II features, same MLP trunk, one linear output trained
+with MSE on *log* service time (service times are log-normal-ish, so the
+log keeps the loss from being dominated by the tail).
+
+``benchmarks/bench_ablation_latency_model.py`` compares the two; the
+classifier's advantage is a calibrated discrete output the budget
+algorithm can reason about, the regressor's is resolution between bin
+centers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import MeanSquaredError
+from repro.nn.model import Sequential, TrainingHistory, mlp_classifier
+from repro.nn.optimizers import Adam
+from repro.nn.scaler import StandardScaler
+from repro.predictors.features import LATENCY_FEATURE_NAMES
+
+
+class LatencyRegressor:
+    """Single-output service-time model: features -> log(service ms)."""
+
+    def __init__(
+        self,
+        hidden_layers: int = 5,
+        hidden_units: int = 128,
+        seed: int = 0,
+    ) -> None:
+        self.scaler = StandardScaler()
+        # mlp_classifier with one "class" is exactly an MLP with a single
+        # linear output.
+        self.model: Sequential = mlp_classifier(
+            n_features=len(LATENCY_FEATURE_NAMES),
+            n_classes=1,
+            hidden_layers=hidden_layers,
+            hidden_units=hidden_units,
+            seed=seed,
+        )
+        self.trained = False
+
+    def fit(
+        self,
+        features: np.ndarray,
+        service_ms: np.ndarray,
+        iterations: int = 300,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ) -> TrainingHistory:
+        service_ms = np.asarray(service_ms, dtype=np.float64)
+        if np.any(service_ms <= 0):
+            raise ValueError("service times must be positive")
+        x = self.scaler.fit_transform(features)
+        targets = np.log(service_ms)
+        history = self.model.fit(
+            x,
+            targets,
+            iterations=iterations,
+            batch_size=batch_size,
+            loss=MeanSquaredError(),
+            optimizer=Adam(learning_rate=learning_rate),
+            seed=seed,
+        )
+        self.trained = True
+        return history
+
+    def predict_service_ms(self, features: np.ndarray) -> np.ndarray:
+        self._require_trained()
+        log_pred = self.model.predict(
+            self.scaler.transform(np.atleast_2d(features))
+        )[:, 0]
+        return np.exp(log_pred)
+
+    def predict_one_ms(self, features: np.ndarray) -> float:
+        return float(self.predict_service_ms(features)[0])
+
+    def accuracy(
+        self,
+        features: np.ndarray,
+        service_ms: np.ndarray,
+        rel_tolerance: float = 0.3,
+    ) -> float:
+        """Fraction predicted within ``rel_tolerance`` relative error —
+        comparable to the classifier's ±1-bin criterion (~±30%)."""
+        self._require_trained()
+        service_ms = np.asarray(service_ms, dtype=np.float64)
+        predicted = self.predict_service_ms(features)
+        rel = np.abs(predicted - service_ms) / np.maximum(service_ms, 1e-9)
+        return float(np.mean(rel <= rel_tolerance))
+
+    def median_relative_error(
+        self, features: np.ndarray, service_ms: np.ndarray
+    ) -> float:
+        self._require_trained()
+        service_ms = np.asarray(service_ms, dtype=np.float64)
+        predicted = self.predict_service_ms(features)
+        return float(
+            np.median(np.abs(predicted - service_ms) / np.maximum(service_ms, 1e-9))
+        )
+
+    def _require_trained(self) -> None:
+        if not self.trained:
+            raise RuntimeError("regressor has not been trained")

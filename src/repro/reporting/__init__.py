@@ -1,0 +1,17 @@
+"""Terminal reporting: ASCII charts for the experiment harnesses."""
+
+from repro.reporting.charts import (
+    bar_chart,
+    histogram_chart,
+    scatter_plot,
+    series_chart,
+    sparkline,
+)
+
+__all__ = [
+    "bar_chart",
+    "histogram_chart",
+    "sparkline",
+    "scatter_plot",
+    "series_chart",
+]

@@ -1,0 +1,34 @@
+"""Query evaluation: exhaustive, MaxScore and WAND top-k retrieval.
+
+All evaluators share the same deterministic tie-break (descending score,
+ascending doc id), so the three strategies return identical hit lists and
+differ only in cost — the property the test suite checks exhaustively.
+"""
+
+from repro.retrieval.block_max_wand import block_max_wand_search
+from repro.retrieval.conjunctive import conjunctive_search
+from repro.retrieval.exhaustive import exhaustive_search, exhaustive_search_daat
+from repro.retrieval.maxscore import maxscore_search
+from repro.retrieval.query import Query, QueryTrace
+from repro.retrieval.result import CostStats, SearchResult, merge_results
+from repro.retrieval.searcher import STRATEGIES, DistributedSearcher, ShardSearcher
+from repro.retrieval.topk import TopKCollector
+from repro.retrieval.wand import wand_search
+
+__all__ = [
+    "Query",
+    "QueryTrace",
+    "TopKCollector",
+    "SearchResult",
+    "CostStats",
+    "merge_results",
+    "exhaustive_search",
+    "exhaustive_search_daat",
+    "maxscore_search",
+    "wand_search",
+    "block_max_wand_search",
+    "conjunctive_search",
+    "ShardSearcher",
+    "DistributedSearcher",
+    "STRATEGIES",
+]

@@ -1,0 +1,66 @@
+"""Conjunctive (AND) evaluation.
+
+Web engines run strict intersections for quoted/advanced queries and as a
+first pass before falling back to disjunction.  The evaluator zig-zags the
+query's cursors: repeatedly advance the lagging cursor to the current
+candidate with ``next_geq`` until all lists agree, which costs
+O(shortest-list x log) rather than touching every posting.
+"""
+
+from __future__ import annotations
+
+from repro.index.postings import END_OF_LIST
+from repro.index.shard import IndexShard
+from repro.retrieval.result import CostStats, SearchResult
+from repro.retrieval.topk import TopKCollector
+
+
+def conjunctive_search(shard: IndexShard, terms: list[str], k: int) -> SearchResult:
+    """Top-k over documents containing *every* query term."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    cost = CostStats(n_terms=len(terms))
+    if not terms:
+        return SearchResult(hits=[], cost=cost)
+
+    cursors = []
+    for term in terms:
+        entry = shard.term(term)
+        if entry is None:
+            return SearchResult(hits=[], cost=cost)  # a missing term empties the AND
+        cursor = entry.postings.cursor()
+        cursor.scores = entry.scores
+        cursors.append(cursor)
+    # Drive the intersection from the rarest term: fewest candidates.
+    cursors.sort(key=lambda c: c.remaining())
+
+    collector = TopKCollector(k)
+    candidate = cursors[0].doc()
+    while candidate != END_OF_LIST:
+        aligned = True
+        for cursor in cursors[1:]:
+            before = cursor.position
+            doc = cursor.next_geq(candidate)
+            cost.postings_skipped += cursor.position - before
+            if doc != candidate:
+                # Candidate dies; restart from the driver at doc (or past
+                # the candidate when the other list overshot forever).
+                aligned = False
+                target = doc if doc != END_OF_LIST else candidate + 1
+                before = cursors[0].position
+                candidate = cursors[0].next_geq(target)
+                cost.postings_skipped += cursors[0].position - before
+                break
+        if not aligned:
+            if any(cursor.exhausted() for cursor in cursors):
+                break
+            continue
+        score = 0.0
+        for cursor in cursors:
+            score += cursor.score()
+            cost.postings_scored += 1
+        cost.docs_evaluated += 1
+        collector.offer(candidate, score)
+        candidate = cursors[0].next()
+
+    return SearchResult(hits=collector.results(), cost=cost)

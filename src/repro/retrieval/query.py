@@ -1,0 +1,87 @@
+"""Query model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.text.analyzer import Analyzer
+
+
+@dataclass(frozen=True)
+class Query:
+    """A search request.
+
+    Attributes
+    ----------
+    query_id:
+        Unique id within a trace (used to join simulation records with
+        ground truth).
+    terms:
+        Analyzed terms, duplicates removed, original order preserved.  All
+        evaluators treat a query as a disjunctive bag of terms, like the
+        paper's Solr setup.
+    text:
+        The raw text the terms came from, kept for reporting.
+    arrival_time:
+        Trace arrival timestamp in seconds (0.0 for ad-hoc queries).
+    """
+
+    query_id: int
+    terms: tuple[str, ...]
+    text: str = ""
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.terms)) != len(self.terms):
+            raise ValueError("query terms must be unique")
+
+    @property
+    def length(self) -> int:
+        return len(self.terms)
+
+    @classmethod
+    def from_text(
+        cls,
+        text: str,
+        analyzer: Analyzer,
+        query_id: int = 0,
+        arrival_time: float = 0.0,
+    ) -> "Query":
+        """Analyze raw text into a query, de-duplicating terms in order."""
+        seen: dict[str, None] = {}
+        for term in analyzer.analyze(text):
+            seen.setdefault(term)
+        return cls(
+            query_id=query_id,
+            terms=tuple(seen),
+            text=text,
+            arrival_time=arrival_time,
+        )
+
+
+@dataclass
+class QueryTrace:
+    """An ordered sequence of timestamped queries (a replayable trace)."""
+
+    name: str
+    queries: list[Query] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, i: int) -> Query:
+        return self.queries[i]
+
+    @property
+    def duration(self) -> float:
+        """Trace span in seconds (last arrival time)."""
+        return self.queries[-1].arrival_time if self.queries else 0.0
+
+    def distinct_terms(self) -> set[str]:
+        terms: set[str] = set()
+        for query in self.queries:
+            terms.update(query.terms)
+        return terms

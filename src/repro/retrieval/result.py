@@ -1,0 +1,62 @@
+"""Search results and evaluation cost accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostStats:
+    """What a query evaluation cost on one shard.
+
+    These counters feed two places: the service-time model of the cluster
+    simulator (more work scored -> longer service time) and the paper's
+    C_RES resource metric (documents searched across used ISNs, Fig. 15d).
+    """
+
+    docs_evaluated: int = 0
+    postings_scored: int = 0
+    postings_skipped: int = 0
+    n_terms: int = 0
+
+    def merge(self, other: "CostStats") -> None:
+        self.docs_evaluated += other.docs_evaluated
+        self.postings_scored += other.postings_scored
+        self.postings_skipped += other.postings_skipped
+        self.n_terms = max(self.n_terms, other.n_terms)
+
+
+@dataclass
+class SearchResult:
+    """Ranked hits from one shard (or from a merge of shards).
+
+    ``hits`` is ordered best-first: descending score, ascending doc id on
+    ties — the deterministic order every evaluator in this package
+    produces.
+    """
+
+    hits: list[tuple[int, float]] = field(default_factory=list)
+    cost: CostStats = field(default_factory=CostStats)
+
+    def doc_ids(self) -> list[int]:
+        return [doc_id for doc_id, _ in self.hits]
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+
+def merge_results(results: list[SearchResult], k: int) -> SearchResult:
+    """Aggregator-side merge: global top-k over per-shard top-k lists.
+
+    Scores are globally comparable because every shard uses the same
+    similarity over its own collection statistics — the same assumption
+    Solr's distributed search makes.  Costs are summed, which makes the
+    merged ``docs_evaluated`` exactly C_RES.
+    """
+    merged: list[tuple[int, float]] = []
+    total = CostStats()
+    for result in results:
+        merged.extend(result.hits)
+        total.merge(result.cost)
+    merged.sort(key=lambda hit: (-hit[1], hit[0]))
+    return SearchResult(hits=merged[:k], cost=total)

@@ -1,0 +1,111 @@
+"""Per-shard search façade and the distributed searcher.
+
+``ShardSearcher`` is what an ISN runs; ``DistributedSearcher`` is the pure
+retrieval view of the whole cluster (broadcast + merge) without any timing —
+the cluster simulator layers queueing, frequencies and budgets on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.index.shard import IndexShard
+from repro.retrieval.block_max_wand import block_max_wand_search
+from repro.retrieval.exhaustive import exhaustive_search, exhaustive_search_daat
+from repro.retrieval.maxscore import maxscore_search
+from repro.retrieval.query import Query
+from repro.retrieval.result import SearchResult, merge_results
+from repro.retrieval.wand import wand_search
+
+STRATEGIES: dict[str, Callable[[IndexShard, list[str], int], SearchResult]] = {
+    "exhaustive": exhaustive_search,
+    "exhaustive_daat": exhaustive_search_daat,
+    "maxscore": maxscore_search,
+    "wand": wand_search,
+    "block_max_wand": block_max_wand_search,
+}
+
+
+class ShardSearcher:
+    """Executes queries on one shard with a fixed strategy and k.
+
+    Results are memoized by query terms: trace replay repeats popular
+    queries many times, and re-running retrieval for each occurrence would
+    dominate simulation time without changing any outcome (the index is
+    immutable).
+    """
+
+    def __init__(self, shard: IndexShard, k: int = 10, strategy: str = "maxscore") -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; options: {sorted(STRATEGIES)}"
+            )
+        self.shard = shard
+        self.k = k
+        self.strategy = strategy
+        self._search = STRATEGIES[strategy]
+        self._cache: dict[tuple[str, ...], SearchResult] = {}
+
+    def search(self, query: Query) -> SearchResult:
+        key = query.terms
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._search(self.shard, list(query.terms), self.k)
+            self._cache[key] = cached
+        return cached
+
+    def search_terms(self, terms: list[str]) -> SearchResult:
+        return self.search(Query(query_id=-1, terms=tuple(dict.fromkeys(terms))))
+
+
+class DistributedSearcher:
+    """Timing-free distributed retrieval: broadcast to shards, merge top-k.
+
+    This is the ground-truth engine: ``search`` over all shards gives the
+    exhaustive result that defines P@K and per-ISN quality labels.
+    """
+
+    def __init__(
+        self, shards: list[IndexShard], k: int = 10, strategy: str = "maxscore"
+    ) -> None:
+        self.k = k
+        self.searchers = [ShardSearcher(shard, k=k, strategy=strategy) for shard in shards]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.searchers)
+
+    def search_shard(self, shard_id: int, query: Query) -> SearchResult:
+        return self.searchers[shard_id].search(query)
+
+    def search(self, query: Query, shard_ids: list[int] | None = None) -> SearchResult:
+        """Search a subset of shards (default: all) and merge."""
+        if shard_ids is None:
+            shard_ids = list(range(self.n_shards))
+        per_shard = [self.searchers[sid].search(query) for sid in shard_ids]
+        return merge_results(per_shard, self.k)
+
+    def shard_contributions(self, query: Query, k: int | None = None) -> dict[int, int]:
+        """Per-shard document counts in the global top-k (quality labels).
+
+        This is the paper's definition of an ISN's quality: "the number of
+        documents it reports that will be included in the final top-K
+        results".
+        """
+        k = k or self.k
+        if k > self.k:
+            raise ValueError("contribution k cannot exceed the searcher's k")
+        per_shard = {
+            sid: set(self.searchers[sid].search(query).doc_ids()[:k])
+            for sid in range(self.n_shards)
+        }
+        merged = merge_results(
+            [self.searchers[sid].search(query) for sid in range(self.n_shards)], k
+        )
+        counts = {sid: 0 for sid in range(self.n_shards)}
+        for doc_id, _ in merged.hits[:k]:
+            for sid, docs in per_shard.items():
+                if doc_id in docs:
+                    counts[sid] += 1
+                    break
+        return counts

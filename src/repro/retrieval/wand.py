@@ -1,0 +1,66 @@
+"""WAND dynamic pruning (Broder et al., CIKM'03).
+
+WAND keeps the query's cursors sorted by their current document and walks a
+*pivot*: the first cursor at which the running sum of upper bounds reaches
+the top-K threshold.  Documents before the pivot cannot enter the top-K, so
+all lagging cursors jump straight to the pivot document.
+"""
+
+from __future__ import annotations
+
+from repro.index.postings import END_OF_LIST
+from repro.index.shard import IndexShard
+from repro.retrieval.maxscore import _prepare_cursors
+from repro.retrieval.result import CostStats, SearchResult
+from repro.retrieval.topk import TopKCollector
+
+
+def wand_search(shard: IndexShard, terms: list[str], k: int) -> SearchResult:
+    """Top-k disjunctive evaluation with WAND pruning."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    cursors = _prepare_cursors(shard, terms)
+    collector = TopKCollector(k)
+    cost = CostStats(n_terms=len(terms))
+    if not cursors:
+        return SearchResult(hits=[], cost=cost)
+
+    while True:
+        cursors.sort(key=lambda c: c.doc())
+        if cursors[0].doc() == END_OF_LIST:
+            break
+        threshold = collector.threshold()
+
+        # Find the pivot: first index where cumulative bounds can tie the bar.
+        acc = 0.0
+        pivot_idx = -1
+        for i, cursor in enumerate(cursors):
+            if cursor.doc() == END_OF_LIST:
+                break
+            acc += cursor.upper_bound
+            if acc >= threshold:
+                pivot_idx = i
+                break
+        if pivot_idx < 0:
+            break  # no document can reach the threshold any more
+        pivot_doc = cursors[pivot_idx].doc()
+
+        if cursors[0].doc() == pivot_doc:
+            # All cursors at or before the pivot sit on pivot_doc: score it.
+            score = 0.0
+            for cursor in cursors:
+                if cursor.doc() != pivot_doc:
+                    break
+                score += cursor.score()
+                cost.postings_scored += 1
+                cursor.next()
+            cost.docs_evaluated += 1
+            collector.offer(pivot_doc, score)
+        else:
+            # Advance the most-lagging cursor up to the pivot document.
+            cursor = cursors[0]
+            before = cursor.position
+            cursor.next_geq(pivot_doc)
+            cost.postings_skipped += cursor.position - before
+
+    return SearchResult(hits=collector.results(), cost=cost)

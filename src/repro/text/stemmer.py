@@ -1,0 +1,73 @@
+"""A light English suffix stemmer.
+
+This implements the "S-stemmer plus" family used by several IR systems when a
+full Porter stemmer is overkill: plural and common derivational suffixes are
+stripped with guards that keep short stems intact.  It is deterministic and
+cheap, which matters because analysis runs on every document at index time.
+"""
+
+from __future__ import annotations
+
+
+class LightStemmer:
+    """Conservative English suffix stripper.
+
+    The rules run in order and at most one rule fires per token.  Each rule
+    is (suffix, replacement, minimum stem length).  The minimum stem length
+    guard prevents mangling short words ("was" -> "wa").
+    """
+
+    _RULES: tuple[tuple[str, str, int], ...] = (
+        ("ational", "ate", 4),
+        ("ization", "ize", 4),
+        ("fulness", "ful", 4),
+        ("ousness", "ous", 4),
+        ("iveness", "ive", 4),
+        ("ements", "ement", 4),
+        ("ations", "ate", 4),
+        ("ities", "ity", 4),
+        ("ingly", "", 4),
+        ("ement", "ement", 4),
+        ("ness", "", 4),
+        ("ance", "", 4),
+        ("ence", "", 4),
+        ("ies", "y", 3),
+        ("ied", "y", 3),
+        ("ing", "", 4),
+        ("ed", "", 4),
+        ("es", "e", 3),
+        ("s", "", 3),
+    )
+
+    def stem(self, token: str) -> str:
+        """Return the stemmed form of ``token``.
+
+        Tokens containing digits are returned unchanged, since numbers and
+        mixed identifiers carry meaning in their exact surface form.
+        """
+        if any(ch.isdigit() for ch in token):
+            return token
+        # "-es" after a sibilant is a pure plural marker ("foxes" -> "fox",
+        # "searches" -> "search"); elsewhere the e belongs to the stem
+        # ("makes" -> "make").  Handled before the generic rules so the
+        # inflected form meets its "-ing" sibling at the same stem.
+        if token.endswith("es") and not token.endswith(("ies", "ees")):
+            stem = token[:-2]
+            if len(stem) >= 3:
+                if stem.endswith(("s", "x", "z", "ch", "sh")):
+                    return stem
+                return stem + "e"
+        for suffix, replacement, min_stem in self._RULES:
+            if token.endswith(suffix):
+                stem = token[: len(token) - len(suffix)]
+                if len(stem) >= min_stem:
+                    return stem + replacement
+                # Rules are ordered longest-first; once a suffix matches but
+                # the guard fails, shorter suffixes of it would also produce
+                # short stems, so keep scanning only non-overlapping rules.
+                continue
+        return token
+
+    def filter(self, tokens: list[str]) -> list[str]:
+        """Stem every token in the stream."""
+        return [self.stem(token) for token in tokens]

@@ -1,0 +1,61 @@
+"""Tokenizers splitting raw text into candidate index terms."""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+
+
+class Tokenizer(ABC):
+    """Base interface for tokenizers.
+
+    A tokenizer converts a raw string into a list of surface tokens.  All
+    downstream normalization (lowercasing, stopword removal, stemming) is the
+    job of the analyzer chain, not the tokenizer.
+    """
+
+    @abstractmethod
+    def tokenize(self, text: str) -> list[str]:
+        """Split ``text`` into tokens, preserving order and duplicates."""
+
+
+class SimpleTokenizer(Tokenizer):
+    """Unicode-word tokenizer comparable to Lucene's StandardTokenizer.
+
+    Tokens are maximal runs of alphanumeric characters; everything else is a
+    separator.  Purely numeric tokens are kept (query traces contain years,
+    model numbers, etc.), but tokens longer than ``max_token_length`` are
+    dropped, matching Lucene's default of discarding pathological tokens.
+    """
+
+    _WORD = re.compile(r"[0-9A-Za-z]+(?:'[0-9A-Za-z]+)?")
+
+    def __init__(self, max_token_length: int = 64) -> None:
+        if max_token_length < 1:
+            raise ValueError("max_token_length must be positive")
+        self.max_token_length = max_token_length
+
+    def tokenize(self, text: str) -> list[str]:
+        if not text:
+            return []
+        return [
+            match.group(0)
+            for match in self._WORD.finditer(text)
+            if len(match.group(0)) <= self.max_token_length
+        ]
+
+
+class NGramTokenizer(Tokenizer):
+    """Character n-gram tokenizer, used by robustness tests as an alternative
+    analysis chain (the index layer must not assume word tokens)."""
+
+    def __init__(self, n: int = 3) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+
+    def tokenize(self, text: str) -> list[str]:
+        compact = re.sub(r"\s+", " ", text.strip().lower())
+        if len(compact) < self.n:
+            return [compact] if compact else []
+        return [compact[i : i + self.n] for i in range(len(compact) - self.n + 1)]

@@ -1,0 +1,50 @@
+"""Trace persistence: replayable query traces as JSON.
+
+A saved trace pins a workload exactly — the same arrivals, the same terms
+— so experiments are comparable across machines and sessions without
+regenerating from seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.retrieval.query import Query, QueryTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: QueryTrace, path: str | Path) -> None:
+    """Write a trace as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": trace.name,
+        "queries": [
+            {
+                "id": query.query_id,
+                "terms": list(query.terms),
+                "text": query.text,
+                "arrival_s": query.arrival_time,
+            }
+            for query in trace
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_trace(path: str | Path) -> QueryTrace:
+    """Load a trace saved by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format in {path}")
+    queries = [
+        Query(
+            query_id=int(entry["id"]),
+            terms=tuple(entry["terms"]),
+            text=entry.get("text", ""),
+            arrival_time=float(entry["arrival_s"]),
+        )
+        for entry in payload["queries"]
+    ]
+    return QueryTrace(name=str(payload["name"]), queries=queries)

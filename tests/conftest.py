@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Expensive artifacts (corpus, shards, trained testbed) are session-scoped:
+they are deterministic, immutable, and shared read-only by many tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments import Scale, Testbed
+from repro.index import Document, build_shards, partition_topical
+from repro.text import WhitespaceAnalyzer
+from repro.workloads import CorpusConfig, SyntheticCorpus, training_queries
+
+
+def make_documents(n_docs: int = 120, vocab: int = 80, seed: int = 0) -> list[Document]:
+    """Small hand-rolled collection with topical skew (no numpy needed)."""
+    rng = random.Random(seed)
+    docs = []
+    for doc_id in range(n_docs):
+        topic = doc_id % 4
+        words = []
+        for _ in range(rng.randint(15, 40)):
+            if rng.random() < 0.6:
+                words.append(f"t{topic * 10 + rng.randint(0, 9)}")
+            else:
+                words.append(f"t{rng.randint(40, vocab - 1)}")
+        docs.append(Document(doc_id=doc_id, text=" ".join(words), topic=topic))
+    return docs
+
+
+@pytest.fixture(scope="session")
+def documents() -> list[Document]:
+    return make_documents()
+
+
+@pytest.fixture(scope="session")
+def shards(documents):
+    return build_shards(
+        partition_topical(documents, 4), analyzer=WhitespaceAnalyzer()
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> SyntheticCorpus:
+    return SyntheticCorpus(
+        CorpusConfig(
+            n_docs=400, vocab_size=1500, n_topics=8, topic_core_size=90,
+            mean_doc_length=50,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def unit_testbed() -> Testbed:
+    """A fully trained testbed at unit scale — the integration workhorse."""
+    return Testbed.build(Scale.unit())
+
+
+@pytest.fixture(scope="session")
+def unit_train_queries(unit_testbed):
+    return training_queries(unit_testbed.corpus, 40, seed=4242)

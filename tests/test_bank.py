@@ -1,0 +1,102 @@
+"""Tests for the predictor bank and its datasets (trained unit testbed)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import GroundTruth
+from repro.predictors import (
+    PredictorBank,
+    build_latency_dataset,
+    build_quality_dataset,
+)
+
+
+class TestDatasets:
+    def test_quality_dataset_shapes(self, unit_testbed, unit_train_queries):
+        truth = GroundTruth.build(
+            unit_testbed.cluster.searcher, unit_train_queries, k=unit_testbed.cluster.k
+        )
+        ds = build_quality_dataset(
+            0, unit_testbed.bank.stats_indexes[0], unit_train_queries, truth
+        )
+        n = len(unit_train_queries)
+        assert ds.features.shape == (n, 10)
+        assert ds.labels_k.shape == (n,)
+        assert (ds.labels_half_k <= ds.labels_k).all()
+
+    def test_latency_dataset_positive_service(self, unit_testbed, unit_train_queries):
+        ds = build_latency_dataset(
+            0, unit_testbed.bank.stats_indexes[0], unit_testbed.cluster,
+            unit_train_queries,
+        )
+        assert (ds.service_ms > 0).all()
+        assert ds.features.shape == (len(unit_train_queries), 15)
+
+    def test_split_disjoint_and_complete(self, unit_testbed, unit_train_queries):
+        truth = GroundTruth.build(
+            unit_testbed.cluster.searcher, unit_train_queries, k=unit_testbed.cluster.k
+        )
+        ds = build_quality_dataset(
+            0, unit_testbed.bank.stats_indexes[0], unit_train_queries, truth
+        )
+        train, test = ds.split(0.25, seed=1)
+        assert len(train.labels_k) + len(test.labels_k) == len(ds.labels_k)
+        assert len(test.labels_k) == round(0.25 * len(ds.labels_k))
+
+    def test_split_validation(self, unit_testbed, unit_train_queries):
+        truth = GroundTruth.build(
+            unit_testbed.cluster.searcher, unit_train_queries, k=unit_testbed.cluster.k
+        )
+        ds = build_quality_dataset(
+            0, unit_testbed.bank.stats_indexes[0], unit_train_queries, truth
+        )
+        with pytest.raises(ValueError):
+            ds.split(1.5)
+
+
+class TestPredictorBank:
+    def test_training_report_complete(self, unit_testbed):
+        report = unit_testbed.training_report
+        n = unit_testbed.cluster.n_shards
+        assert len(report.quality_accuracy) == n
+        assert len(report.latency_accuracy) == n
+        assert 0.0 < report.mean_quality_accuracy <= 1.0
+        assert 0.0 < report.mean_latency_accuracy <= 1.0
+
+    def test_predict_shape_and_bounds(self, unit_testbed):
+        query = unit_testbed.wikipedia_trace[0]
+        predictions = unit_testbed.bank.predict(query)
+        assert len(predictions) == unit_testbed.cluster.n_shards
+        for p in predictions:
+            assert 0 <= p.quality_k <= unit_testbed.bank.k
+            assert 0 <= p.quality_half_k <= max(unit_testbed.bank.k // 2, 1)
+            assert p.service_default_ms > 0
+            assert 0.0 <= p.p_zero_k <= 1.0
+
+    def test_predictions_cached(self, unit_testbed):
+        query = unit_testbed.wikipedia_trace[0]
+        assert unit_testbed.bank.predict(query) is unit_testbed.bank.predict(query)
+
+    def test_untrained_predict_rejected(self, unit_testbed):
+        bank = PredictorBank(unit_testbed.cluster)
+        with pytest.raises(RuntimeError):
+            bank.predict(unit_testbed.wikipedia_trace[0])
+
+    def test_train_requires_enough_queries(self, unit_testbed):
+        bank = PredictorBank(unit_testbed.cluster)
+        with pytest.raises(ValueError):
+            bank.train(list(unit_testbed.wikipedia_trace)[:3])
+
+    def test_latency_predictions_correlate_with_truth(self, unit_testbed):
+        # Spearman-ish check: predicted service times order real ones.
+        queries = list({q.terms: q for q in unit_testbed.wikipedia_trace}.values())[:25]
+        predicted = []
+        actual = []
+        for query in queries:
+            predicted.append(unit_testbed.bank.predict(query)[0].service_default_ms)
+            actual.append(unit_testbed.cluster.service_time_ms(query, 0))
+        correlation = np.corrcoef(predicted, actual)[0, 1]
+        assert correlation > 0.6
+
+    def test_coordination_overhead_subms(self, unit_testbed):
+        assert 0.0 < unit_testbed.bank.coordination_overhead_ms() < 1.0

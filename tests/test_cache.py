@@ -1,0 +1,83 @@
+"""Unit + integration tests for the aggregator result cache."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ResultCache
+from repro.retrieval.result import SearchResult
+
+
+def result(doc_id=1):
+    return SearchResult(hits=[(doc_id, 1.0)])
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(("a",), 0.0) is None
+        cache.put(("a",), result(), 0.0)
+        assert cache.get(("a",), 1.0).hits == [(1, 1.0)]
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a",), result(1), 0.0)
+        cache.put(("b",), result(2), 0.0)
+        cache.get(("a",), 1.0)  # refresh a
+        cache.put(("c",), result(3), 2.0)  # evicts b
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert ("c",) in cache
+        assert cache.stats.evictions == 1
+
+    def test_ttl_expiry(self):
+        cache = ResultCache(capacity=4, ttl_ms=10.0)
+        cache.put(("a",), result(), 0.0)
+        assert cache.get(("a",), 5.0) is not None
+        assert cache.get(("a",), 20.0) is None  # expired
+        assert ("a",) not in cache
+
+    def test_put_updates_existing(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a",), result(1), 0.0)
+        cache.put(("a",), result(9), 1.0)
+        assert len(cache) == 1
+        assert cache.get(("a",), 2.0).hits == [(9, 1.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(capacity=1, ttl_ms=0.0)
+        with pytest.raises(ValueError):
+            ResultCache(capacity=1, lookup_ms=-1.0)
+
+
+class TestCachedRuns:
+    def test_cache_cuts_latency_and_work(self, unit_testbed):
+        trace = unit_testbed.wikipedia_trace
+        policy = unit_testbed.make_policy("exhaustive")
+        plain = unit_testbed.cluster.run_trace(trace, policy)
+        cached = unit_testbed.cluster.run_trace(
+            trace, unit_testbed.make_policy("exhaustive"),
+            cache=ResultCache(capacity=512),
+        )
+        assert cached.cache_stats is not None
+        # Zipf-popular traces repeat heavily: most lookups hit.
+        assert cached.cache_stats.hit_rate > 0.4
+        assert np.mean(cached.latencies_ms()) < np.mean(plain.latencies_ms())
+        hits = [r for r in cached.records if r.from_cache]
+        assert hits and all(r.docs_searched == 0 for r in hits)
+
+    def test_cached_answers_match_exhaustive_truth(self, unit_testbed):
+        trace = unit_testbed.wikipedia_trace
+        truth = unit_testbed.truth_for(trace)
+        cached = unit_testbed.cluster.run_trace(
+            trace, unit_testbed.make_policy("exhaustive"),
+            cache=ResultCache(capacity=512),
+        )
+        for record in cached.records:
+            if record.from_cache:
+                assert truth.precision(record.query, record.result.doc_ids()) == 1.0

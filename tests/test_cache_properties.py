@@ -1,0 +1,63 @@
+"""Model-based property test: ResultCache vs a reference LRU."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ResultCache
+from repro.retrieval.result import SearchResult
+
+
+class ReferenceLRU:
+    """Straight-line LRU used as the oracle."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key in self.data:
+            self.data.move_to_end(key)
+            return self.data[key]
+        return None
+
+    def put(self, key, value):
+        if key in self.data:
+            self.data.move_to_end(key)
+        self.data[key] = value
+        while len(self.data) > self.capacity:
+            self.data.popitem(last=False)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["get", "put"]), st.integers(0, 12)),
+        min_size=1,
+        max_size=80,
+    ),
+)
+def test_cache_matches_reference_lru(capacity, ops):
+    cache = ResultCache(capacity=capacity)
+    reference = ReferenceLRU(capacity)
+    clock = 0.0
+    for op, key_id in ops:
+        clock += 1.0
+        key = (f"t{key_id}",)
+        if op == "get":
+            got = cache.get(key, clock)
+            expected = reference.get(key)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None and got.hits == expected.hits
+        else:
+            value = SearchResult(hits=[(key_id, float(key_id))])
+            cache.put(key, value, clock)
+            reference.put(key, value)
+    assert len(cache) == len(reference.data)
+    assert set(reference.data) == {
+        key for key in ((f"t{i}",) for i in range(13)) if key in cache
+    }

@@ -1,0 +1,67 @@
+"""Tests for predictor calibration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import reliability, zero_class_calibration
+from repro.workloads import training_queries
+
+
+class TestReliability:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        predicted = rng.uniform(0, 1, size=20_000)
+        outcomes = rng.uniform(0, 1, size=20_000) < predicted
+        report = reliability(predicted, outcomes, n_bins=10)
+        assert report.expected_calibration_error < 0.03
+        assert report.n_samples == 20_000
+
+    def test_overconfident_model_has_high_ece(self):
+        # Model always says 0.99 but the event happens half the time.
+        predicted = np.full(1000, 0.99)
+        outcomes = np.arange(1000) % 2 == 0
+        report = reliability(predicted, outcomes)
+        assert report.expected_calibration_error > 0.4
+        assert len(report.bins) == 1
+        assert report.bins[0].gap > 0.4
+
+    def test_empty_buckets_dropped(self):
+        predicted = np.array([0.05, 0.95])
+        outcomes = np.array([False, True])
+        report = reliability(predicted, outcomes, n_bins=10)
+        assert len(report.bins) == 2
+
+    def test_edge_probability_one_included(self):
+        report = reliability(np.array([1.0]), np.array([True]), n_bins=5)
+        assert report.bins[-1].count == 1
+
+    def test_render(self):
+        report = reliability(np.array([0.2, 0.8]), np.array([False, True]))
+        text = report.render()
+        assert "ECE" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability(np.array([0.5]), np.array([True, False]))
+        with pytest.raises(ValueError):
+            reliability(np.array([1.5]), np.array([True]))
+        with pytest.raises(ValueError):
+            reliability(np.zeros(0), np.zeros(0, dtype=bool))
+        with pytest.raises(ValueError):
+            reliability(np.array([0.5]), np.array([True]), n_bins=0)
+
+
+class TestZeroClassCalibration:
+    def test_bank_calibration_reasonable(self, unit_testbed):
+        queries = training_queries(unit_testbed.corpus, 40, seed=777)
+        report = zero_class_calibration(unit_testbed.bank, queries, n_bins=5)
+        assert report.n_samples == 40 * unit_testbed.cluster.n_shards
+        assert 0.0 <= report.expected_calibration_error <= 1.0
+        # The gate at 0.9 is only sane if high-confidence zeros are mostly
+        # real zeros.
+        top = [b for b in report.bins if b.lo >= 0.8]
+        if top:
+            pooled = sum(b.empirical_rate * b.count for b in top) / sum(
+                b.count for b in top
+            )
+            assert pooled > 0.6

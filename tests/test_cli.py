@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_index_args(self):
+        args = build_parser().parse_args(["build-index", "--out", "x", "--scale", "unit"])
+        assert args.out == "x"
+        assert args.scale == "unit"
+
+    def test_search_args(self):
+        args = build_parser().parse_args(["search", "dir", "a", "b", "-k", "5"])
+        assert args.terms == ["a", "b"]
+        assert args.k == 5
+
+    def test_figure_registry_covers_evaluation(self):
+        for name in ("fig02", "fig10", "fig11", "fig13", "fig14", "fig15",
+                     "tables", "headline"):
+            assert name in FIGURES
+
+
+class TestCommands:
+    def test_build_index_then_search(self, tmp_path, capsys):
+        out = tmp_path / "index"
+        assert main(["build-index", "--scale", "unit", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "wrote 8 shards" in captured
+
+        assert main(["search", str(out), "t100", "--raw-terms", "-k", "3"]) == 0
+        captured = capsys.readouterr().out
+        assert "doc" in captured
+
+    def test_search_no_terms_after_analysis(self, tmp_path, capsys):
+        out = tmp_path / "index"
+        main(["build-index", "--scale", "unit", "--out", str(out)])
+        capsys.readouterr()
+        # Pure stopwords analyze to nothing under the standard analyzer.
+        assert main(["search", str(out), "the", "and"]) == 1
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99"]) == 1
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig04", "--scale", "enormous"])

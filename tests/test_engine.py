@@ -1,0 +1,86 @@
+"""Integration tests for the cluster engine (trace replay)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SearchCluster
+from repro.policies import AggregationPolicy, ExhaustivePolicy
+from repro.retrieval import Query, QueryTrace
+
+
+@pytest.fixture(scope="module")
+def cluster(shards):
+    return SearchCluster(shards, k=5)
+
+
+def small_trace(n=30, gap_s=0.02):
+    terms_pool = [("t1",), ("t2", "t12"), ("t5",), ("t11", "t3")]
+    return QueryTrace(
+        name="test",
+        queries=[
+            Query(
+                query_id=i,
+                terms=terms_pool[i % len(terms_pool)],
+                arrival_time=i * gap_s,
+            )
+            for i in range(n)
+        ],
+    )
+
+
+class TestRunTrace:
+    def test_exhaustive_run_completes_all(self, cluster):
+        trace = small_trace()
+        run = cluster.run_trace(trace, ExhaustivePolicy())
+        assert len(run.records) == len(trace)
+        assert all(r.n_counted == cluster.n_shards for r in run.records)
+        assert all(r.latency_ms > 0 for r in run.records)
+
+    def test_records_sorted_by_arrival(self, cluster):
+        run = cluster.run_trace(small_trace(), ExhaustivePolicy())
+        arrivals = [r.arrival_ms for r in run.records]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_replay(self, cluster):
+        a = cluster.run_trace(small_trace(), ExhaustivePolicy())
+        b = cluster.run_trace(small_trace(), ExhaustivePolicy())
+        assert a.latencies_ms() == b.latencies_ms()
+        assert a.power.average_power_w == b.power.average_power_w
+
+    def test_power_report_bounds(self, cluster):
+        run = cluster.run_trace(small_trace(), ExhaustivePolicy())
+        assert run.power.average_power_w >= run.power.idle_package_w
+        assert 0.0 < max(run.power.per_core_utilization) <= 1.0
+
+    def test_budget_policy_reduces_tail(self, cluster):
+        exhaustive = cluster.run_trace(small_trace(60, 0.004), ExhaustivePolicy())
+        budget = cluster.run_trace(
+            small_trace(60, 0.004),
+            AggregationPolicy(budget_percentile=50.0, epoch_queries=10),
+        )
+        assert np.percentile(budget.latencies_ms(), 95) <= np.percentile(
+            exhaustive.latencies_ms(), 95
+        )
+
+    def test_contention_raises_latency(self, cluster):
+        sparse = cluster.run_trace(small_trace(30, gap_s=0.5), ExhaustivePolicy())
+        dense = cluster.run_trace(small_trace(30, gap_s=0.001), ExhaustivePolicy())
+        assert np.mean(dense.latencies_ms()) > np.mean(sparse.latencies_ms())
+
+    def test_service_time_oracle_matches_cost_model(self, cluster):
+        query = Query(query_id=0, terms=("t1",))
+        result = cluster.searcher.search_shard(0, query)
+        expected = cluster.cost_model.service_ms(
+            result.cost, cluster.freq_scale.default_ghz
+        )
+        assert cluster.service_time_ms(query, 0) == pytest.approx(expected)
+
+    def test_service_time_frequency_override(self, cluster):
+        query = Query(query_id=0, terms=("t1",))
+        assert cluster.service_time_ms(query, 0, freq_ghz=2.7) < cluster.service_time_ms(
+            query, 0
+        )
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            SearchCluster([])

@@ -1,0 +1,122 @@
+"""Tests for fault injection and graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FaultSchedule, Outage, SearchCluster
+from repro.policies import ExhaustivePolicy
+from repro.retrieval import Query, QueryTrace
+
+
+class TestFaultSchedule:
+    def test_is_down_inside_interval(self):
+        schedule = FaultSchedule.single(2, 100.0, 200.0)
+        assert not schedule.is_down(2, 99.9)
+        assert schedule.is_down(2, 100.0)
+        assert schedule.is_down(2, 150.0)
+        assert not schedule.is_down(2, 200.0)  # half-open
+
+    def test_other_shards_unaffected(self):
+        schedule = FaultSchedule.single(2, 100.0, 200.0)
+        assert not schedule.is_down(1, 150.0)
+
+    def test_multiple_intervals(self):
+        schedule = FaultSchedule(
+            outages=[Outage(0, 10.0, 20.0), Outage(0, 50.0, 60.0)]
+        )
+        assert schedule.is_down(0, 15.0)
+        assert not schedule.is_down(0, 30.0)
+        assert schedule.is_down(0, 55.0)
+        assert schedule.downtime_ms(0) == 20.0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(outages=[Outage(0, 10.0, 30.0), Outage(0, 20.0, 40.0)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Outage(0, 20.0, 10.0)
+        with pytest.raises(ValueError):
+            Outage(-1, 0.0, 1.0)
+
+
+@pytest.fixture()
+def cluster(shards):
+    return SearchCluster(shards, k=5)
+
+
+def trace(n=20, gap_s=0.05):
+    return QueryTrace(
+        name="faulty",
+        queries=[
+            Query(query_id=i, terms=("t1", "t12"), arrival_time=i * gap_s)
+            for i in range(n)
+        ],
+    )
+
+
+class TestFaultyRuns:
+    def test_exhaustive_with_timeout_still_answers(self, cluster):
+        faults = FaultSchedule.single(0, 0.0, 1e9)  # shard 0 dead forever
+        run = cluster.run_trace(
+            trace(), ExhaustivePolicy(), faults=faults, response_timeout_ms=100.0
+        )
+        assert len(run.records) == 20
+        # Every answer misses shard 0 but includes the other three.
+        for record in run.records:
+            counted = {o.shard_id for o in record.outcomes if o.counted}
+            assert 0 not in counted
+            assert counted == {1, 2, 3}
+            assert record.latency_ms <= 100.0 + 1.0
+
+    def test_budget_policy_survives_without_timeout(self, cluster, unit_testbed):
+        # Cottage-style budgets bound the damage with no safety timeout:
+        # use the aggregation policy (all-shard budget) as the budget proxy.
+        from repro.policies import AggregationPolicy
+
+        faults = FaultSchedule.single(1, 0.0, 1e9)
+        run = cluster.run_trace(
+            trace(), AggregationPolicy(initial_budget_ms=30.0), faults=faults
+        )
+        assert len(run.records) == 20
+        assert all(r.latency_ms < 120.0 for r in run.records)
+
+    def test_outage_window_only(self, cluster):
+        # Shard 0 down for the first half of the trace only.
+        faults = FaultSchedule.single(0, 0.0, 500.0)
+        run = cluster.run_trace(
+            trace(), ExhaustivePolicy(), faults=faults, response_timeout_ms=200.0
+        )
+        early = [r for r in run.records if r.arrival_ms < 400.0]
+        late = [r for r in run.records if r.arrival_ms > 600.0]
+        assert early and late
+        assert all(
+            0 not in {o.shard_id for o in r.outcomes if o.counted} for r in early
+        )
+        assert all(0 in {o.shard_id for o in r.outcomes if o.counted} for r in late)
+
+    def test_dead_isn_consumes_no_energy(self, cluster):
+        faults = FaultSchedule.single(0, 0.0, 1e9)
+        run = cluster.run_trace(
+            trace(), ExhaustivePolicy(), faults=faults, response_timeout_ms=100.0
+        )
+        assert run.power.per_core_utilization[0] == 0.0
+        assert run.power.per_core_utilization[1] > 0.0
+
+    def test_quality_degrades_gracefully(self, cluster, shards):
+        from repro.metrics import GroundTruth
+
+        faults = FaultSchedule.single(0, 0.0, 1e9)
+        run = cluster.run_trace(
+            trace(), ExhaustivePolicy(), faults=faults, response_timeout_ms=100.0
+        )
+        truth = GroundTruth.build(cluster.searcher, [trace()[0]], k=5)
+        precisions = [
+            truth.precision(r.query, r.result.doc_ids()) for r in run.records
+        ]
+        # Partial answers: below perfect, far above empty.
+        assert 0.0 < np.mean(precisions) < 1.0
+
+    def test_timeout_validation(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.run_trace(trace(), ExhaustivePolicy(), response_timeout_ms=0.0)

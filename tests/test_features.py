@@ -1,0 +1,91 @@
+"""Unit tests for Table I/II feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.index.term_stats import TermStatsIndex
+from repro.predictors import (
+    LATENCY_FEATURE_NAMES,
+    QUALITY_FEATURE_NAMES,
+    feature_table,
+    latency_features,
+    quality_features,
+)
+
+
+@pytest.fixture(scope="module")
+def stats(shards):
+    return TermStatsIndex(shards[0], k=10)
+
+
+@pytest.fixture(scope="module")
+def two_terms(shards):
+    terms = sorted(
+        shards[0].terms(), key=lambda t: shards[0].doc_freq(t), reverse=True
+    )
+    return terms[0], terms[1]
+
+
+class TestQualityFeatures:
+    def test_dimension_matches_table1(self, stats, two_terms):
+        vector = quality_features([two_terms[0]], stats)
+        assert vector.shape == (len(QUALITY_FEATURE_NAMES),)
+        assert len(QUALITY_FEATURE_NAMES) == 10  # Table I has 10 rows
+
+    def test_single_term_matches_stats(self, stats, two_terms):
+        term = two_terms[0]
+        vector = quality_features([term], stats)
+        term_stats = stats.get(term)
+        named = dict(zip(QUALITY_FEATURE_NAMES, vector))
+        assert named["max_score"] == pytest.approx(term_stats.max_score)
+        assert named["posting_list_length"] == term_stats.posting_length
+        assert named["arithmetic_average_score"] == pytest.approx(term_stats.mean)
+
+    def test_max_aggregation(self, stats, two_terms):
+        a, b = two_terms
+        combined = quality_features([a, b], stats)
+        va = quality_features([a], stats)
+        vb = quality_features([b], stats)
+        np.testing.assert_allclose(combined, np.maximum(va, vb))
+
+    def test_empty_query_rejected(self, stats):
+        with pytest.raises(ValueError):
+            quality_features([], stats)
+
+    def test_unknown_term_all_zero_but_idf(self, stats):
+        vector = quality_features(["zzz-unknown"], stats)
+        assert vector[:10].max() == 0.0
+
+
+class TestLatencyFeatures:
+    def test_dimension_matches_table2(self, stats, two_terms):
+        vector = latency_features([two_terms[0]], stats)
+        assert vector.shape == (len(LATENCY_FEATURE_NAMES),)
+        assert len(LATENCY_FEATURE_NAMES) == 15  # Table II has 15 rows
+
+    def test_query_length_passes_through(self, stats, two_terms):
+        idx = LATENCY_FEATURE_NAMES.index("query_length")
+        assert latency_features([two_terms[0]], stats)[idx] == 1.0
+        assert latency_features(list(two_terms), stats)[idx] == 2.0
+
+    def test_posting_length_is_max_over_terms(self, stats, two_terms):
+        a, b = two_terms
+        idx = LATENCY_FEATURE_NAMES.index("posting_list_length")
+        combined = latency_features([a, b], stats)
+        assert combined[idx] == max(
+            stats.get(a).posting_length, stats.get(b).posting_length
+        )
+
+
+class TestFeatureTable:
+    def test_quality_table(self, stats, two_terms):
+        table = feature_table([two_terms[0]], stats, "quality")
+        assert [name for name, _ in table] == list(QUALITY_FEATURE_NAMES)
+
+    def test_latency_table(self, stats, two_terms):
+        table = feature_table([two_terms[0]], stats, "latency")
+        assert [name for name, _ in table] == list(LATENCY_FEATURE_NAMES)
+
+    def test_unknown_kind(self, stats, two_terms):
+        with pytest.raises(ValueError):
+            feature_table([two_terms[0]], stats, "nope")

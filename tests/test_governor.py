@@ -1,0 +1,121 @@
+"""Unit + integration tests for ISN-side frequency governors."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AssignedFrequencyGovernor,
+    CostModel,
+    FrequencyScale,
+    GOVERNORS,
+    RaceToIdleGovernor,
+    SlackGovernor,
+)
+from repro.retrieval.result import CostStats
+
+SCALE = FrequencyScale()
+COST_MODEL = CostModel()
+
+
+def cost_for_service_ms(target_ms, freq=SCALE.default_ghz):
+    """A CostStats whose service time at ``freq`` is ~target_ms."""
+    cycles = target_ms * freq * 1e6 - COST_MODEL.fixed_cycles
+    docs = max(int(cycles / COST_MODEL.cycles_per_doc), 0)
+    return CostStats(docs_evaluated=docs)
+
+
+class TestAssigned:
+    def test_obeys_assignment(self):
+        governor = AssignedFrequencyGovernor()
+        assert governor.frequency_for(CostStats(), 2.7, 100.0, COST_MODEL, SCALE) == 2.7
+        assert governor.frequency_for(CostStats(), 2.1, None, COST_MODEL, SCALE) == 2.1
+
+    def test_clamps_to_ladder(self):
+        governor = AssignedFrequencyGovernor()
+        assert governor.frequency_for(CostStats(), 2.0, None, COST_MODEL, SCALE) == 2.1
+
+
+class TestRaceToIdle:
+    def test_always_max(self):
+        governor = RaceToIdleGovernor()
+        assert governor.frequency_for(CostStats(), 1.2, None, COST_MODEL, SCALE) == 2.7
+
+
+class TestSlack:
+    def test_loose_deadline_downclocks(self):
+        governor = SlackGovernor(margin=1.0)
+        cost = cost_for_service_ms(10.0)  # 10 ms at default
+        # 100 ms of slack: the minimum frequency suffices.
+        freq = governor.frequency_for(cost, 2.1, 100.0, COST_MODEL, SCALE)
+        assert freq == SCALE.min_ghz
+
+    def test_tight_deadline_upclocks(self):
+        governor = SlackGovernor(margin=1.0)
+        cost = cost_for_service_ms(10.0)
+        freq = governor.frequency_for(cost, 2.1, 9.0, COST_MODEL, SCALE)
+        assert freq > 2.1
+
+    def test_chosen_frequency_meets_deadline(self):
+        governor = SlackGovernor(margin=1.0)
+        for target in (2.0, 5.0, 12.0, 30.0):
+            for remaining in (3.0, 8.0, 20.0, 60.0):
+                cost = cost_for_service_ms(target)
+                freq = governor.frequency_for(cost, 2.1, remaining, COST_MODEL, SCALE)
+                service = COST_MODEL.service_ms(cost, freq)
+                if freq < SCALE.max_ghz:
+                    # Whenever it could choose, the deadline is met.
+                    assert service <= remaining + 1e-9
+
+    def test_already_late_sprints(self):
+        governor = SlackGovernor()
+        freq = governor.frequency_for(CostStats(), 2.1, 0.0, COST_MODEL, SCALE)
+        assert freq == SCALE.max_ghz
+
+    def test_no_deadline_falls_back_to_assignment(self):
+        governor = SlackGovernor()
+        assert governor.frequency_for(CostStats(), 2.4, None, COST_MODEL, SCALE) == 2.4
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            SlackGovernor(margin=0.0)
+
+
+class TestRegistry:
+    def test_all_constructible(self):
+        for name, cls in GOVERNORS.items():
+            assert cls().name == name
+
+
+class TestEndToEnd:
+    def test_slack_governor_saves_power_at_same_quality(self, unit_testbed):
+        trace = unit_testbed.wikipedia_trace
+        truth = unit_testbed.truth_for(trace)
+        from repro.metrics import summarize_run
+
+        assigned = summarize_run(
+            unit_testbed.cluster.run_trace(
+                trace, unit_testbed.make_policy("cottage"),
+                governor=AssignedFrequencyGovernor(),
+            ),
+            truth,
+        )
+        slack = summarize_run(
+            unit_testbed.cluster.run_trace(
+                trace, unit_testbed.make_policy("cottage"),
+                governor=SlackGovernor(),
+            ),
+            truth,
+        )
+        assert slack.avg_power_w < assigned.avg_power_w
+        assert slack.avg_precision >= assigned.avg_precision - 0.05
+
+    def test_race_to_idle_fastest(self, unit_testbed):
+        trace = unit_testbed.wikipedia_trace
+        race = unit_testbed.cluster.run_trace(
+            trace, unit_testbed.make_policy("exhaustive"),
+            governor=RaceToIdleGovernor(),
+        )
+        default = unit_testbed.cluster.run_trace(
+            trace, unit_testbed.make_policy("exhaustive")
+        )
+        assert np.mean(race.latencies_ms()) < np.mean(default.latencies_ms())

@@ -1,0 +1,87 @@
+"""End-to-end integration: the paper's qualitative claims at unit scale.
+
+These are the "does the whole system reproduce the story" tests: weaker
+than the full-scale benchmark assertions, but they run in CI time and
+exercise every layer together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import summarize_run
+
+
+@pytest.fixture(scope="module")
+def summaries(unit_testbed):
+    trace = unit_testbed.wikipedia_trace
+    truth = unit_testbed.truth_for(trace)
+    return {
+        name: summarize_run(unit_testbed.run(trace, name), truth, trace.name)
+        for name in (
+            "exhaustive", "aggregation", "taily", "rank_s",
+            "cottage_without_ml", "cottage_isn", "cottage",
+        )
+    }
+
+
+class TestPaperStory:
+    def test_exhaustive_is_perfect_and_slowest_class(self, summaries):
+        assert summaries["exhaustive"].avg_precision == 1.0
+        assert summaries["exhaustive"].avg_selected_isns == 8  # all unit ISNs
+
+    def test_cottage_beats_exhaustive_latency(self, summaries):
+        assert summaries["cottage"].avg_latency_ms < summaries["exhaustive"].avg_latency_ms
+        assert summaries["cottage"].p95_latency_ms < summaries["exhaustive"].p95_latency_ms
+
+    def test_cottage_quality_bounded_loss(self, summaries):
+        assert summaries["cottage"].avg_precision > 0.75
+
+    def test_cottage_uses_fewest_isns_among_quality_policies(self, summaries):
+        assert summaries["cottage"].avg_selected_isns < summaries["taily"].avg_selected_isns
+        assert (
+            summaries["cottage"].avg_selected_isns
+            < summaries["exhaustive"].avg_selected_isns
+        )
+
+    def test_cottage_searches_fewer_docs(self, summaries):
+        assert (
+            summaries["cottage"].avg_docs_searched
+            < summaries["exhaustive"].avg_docs_searched
+        )
+
+    def test_quality_ordering_ml_beats_gamma_variant(self, summaries):
+        assert (
+            summaries["cottage"].avg_precision
+            >= summaries["cottage_without_ml"].avg_precision - 0.02
+        )
+
+    def test_rank_s_has_worst_quality(self, summaries):
+        others = [s.avg_precision for name, s in summaries.items() if name != "rank_s"]
+        assert summaries["rank_s"].avg_precision <= min(others) + 0.05
+
+    def test_aggregation_cuts_tail_but_hurts_quality(self, summaries):
+        assert summaries["aggregation"].p95_latency_ms < summaries["exhaustive"].p95_latency_ms
+        assert summaries["aggregation"].avg_precision < 1.0
+
+    def test_power_ordering(self, summaries):
+        # Cottage's power saving only emerges at >= small scale (boost
+        # premium dominates in a tiny cluster); Taily's cut is robust.
+        assert summaries["taily"].avg_power_w < summaries["exhaustive"].avg_power_w
+        assert summaries["cottage"].avg_power_w < summaries["exhaustive"].avg_power_w * 1.1
+
+
+class TestCrossTraceConsistency:
+    def test_lucene_trace_also_improves(self, unit_testbed):
+        trace = unit_testbed.lucene_trace
+        truth = unit_testbed.truth_for(trace)
+        exhaustive = summarize_run(unit_testbed.run(trace, "exhaustive"), truth)
+        cottage = summarize_run(unit_testbed.run(trace, "cottage"), truth)
+        assert cottage.avg_latency_ms < exhaustive.avg_latency_ms
+        assert cottage.avg_precision > 0.7
+
+    def test_deterministic_end_to_end(self, unit_testbed):
+        trace = unit_testbed.wikipedia_trace
+        a = unit_testbed.cluster.run_trace(trace, unit_testbed.make_policy("cottage"))
+        b = unit_testbed.cluster.run_trace(trace, unit_testbed.make_policy("cottage"))
+        assert a.latencies_ms() == b.latencies_ms()
+        assert np.isclose(a.power.average_power_w, b.power.average_power_w)

@@ -1,0 +1,52 @@
+"""Tests for the regression-mode latency predictor (ablation model)."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.latency_regression import LatencyRegressor
+
+
+def toy(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 15))
+    service = np.exp(x[:, 0] * 0.8 + 2.0)
+    return x, service
+
+
+class TestLatencyRegressor:
+    def test_learns_toy_problem(self):
+        x, service = toy()
+        model = LatencyRegressor(hidden_layers=2, hidden_units=32)
+        model.fit(x, service, iterations=1200)
+        assert model.accuracy(x, service) > 0.6
+        assert model.median_relative_error(x, service) < 0.3
+
+    def test_predictions_positive(self):
+        x, service = toy(100)
+        model = LatencyRegressor(hidden_layers=1, hidden_units=8)
+        model.fit(x, service, iterations=50)
+        assert (model.predict_service_ms(x) > 0).all()
+
+    def test_predict_one(self):
+        x, service = toy(50)
+        model = LatencyRegressor(hidden_layers=1, hidden_units=8)
+        model.fit(x, service, iterations=20)
+        assert model.predict_one_ms(x[0]) > 0
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            LatencyRegressor().predict_service_ms(np.zeros((1, 15)))
+
+    def test_nonpositive_service_rejected(self):
+        x, service = toy(20)
+        service[0] = 0.0
+        with pytest.raises(ValueError):
+            LatencyRegressor(hidden_layers=1, hidden_units=4).fit(x, service)
+
+    def test_accuracy_tolerance_monotone(self):
+        x, service = toy(200)
+        model = LatencyRegressor(hidden_layers=1, hidden_units=16)
+        model.fit(x, service, iterations=300)
+        assert model.accuracy(x, service, rel_tolerance=0.5) >= model.accuracy(
+            x, service, rel_tolerance=0.1
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.metrics import (
+    GroundTruth,
+    comparison_table,
+    latency_histogram,
+    mean,
+    percentile,
+    precision_at_k,
+    relative_improvement,
+    timeline,
+)
+from repro.retrieval import DistributedSearcher, Query
+
+
+class TestPrecisionAtK:
+    def test_full_overlap(self):
+        assert precision_at_k([1, 2, 3], [1, 2, 3], 3) == 1.0
+
+    def test_partial_overlap(self):
+        assert precision_at_k([1, 9, 8], [1, 2, 3], 3) == pytest.approx(1 / 3)
+
+    def test_order_within_topk_irrelevant(self):
+        assert precision_at_k([3, 1, 2], [1, 2, 3], 3) == 1.0
+
+    def test_truth_shorter_than_k_normalizes(self):
+        assert precision_at_k([1, 2], [1, 2], 10) == 1.0
+
+    def test_empty_truth_is_perfect(self):
+        assert precision_at_k([], [], 10) == 1.0
+
+    def test_empty_returned(self):
+        assert precision_at_k([], [1, 2, 3], 3) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+
+
+class TestGroundTruth:
+    def test_build_and_precision(self, shards):
+        searcher = DistributedSearcher(shards, k=5)
+        query = Query(query_id=0, terms=("t1", "t12"))
+        truth = GroundTruth.build(searcher, [query], k=5)
+        entry = truth.get(query)
+        assert len(entry.top_k) <= 5
+        assert sum(entry.contributions_k.values()) == len(entry.top_k)
+        assert truth.precision(query, entry.top_k) == 1.0
+
+    def test_half_k_contributions_subset(self, shards):
+        searcher = DistributedSearcher(shards, k=5)
+        query = Query(query_id=0, terms=("t1",))
+        truth = GroundTruth.build(searcher, [query], k=5)
+        entry = truth.get(query)
+        assert sum(entry.contributions_half_k.values()) <= sum(
+            entry.contributions_k.values()
+        )
+
+    def test_shared_entry_for_equal_terms(self, shards):
+        searcher = DistributedSearcher(shards, k=5)
+        truth = GroundTruth(k=5)
+        a = truth.ensure(searcher, Query(query_id=0, terms=("t1",)))
+        b = truth.ensure(searcher, Query(query_id=9, terms=("t1",)))
+        assert a is b
+        assert len(truth) == 1
+
+    def test_missing_query_raises(self, shards):
+        truth = GroundTruth(k=5)
+        with pytest.raises(KeyError):
+            truth.get(Query(query_id=0, terms=("t1",)))
+
+
+class TestLatencyStats:
+    def test_percentile_and_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert mean(values) == 2.5
+        assert percentile(values, 50) == 2.5
+        assert percentile(values, 100) == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_histogram_bins(self):
+        bins = latency_histogram([1.0, 6.0, 7.0, 12.0], bin_width_ms=5.0)
+        assert [count for _, _, count in bins] == [1, 2, 1]
+
+    def test_histogram_empty(self):
+        assert latency_histogram([]) == []
+
+    def test_timeline_buckets(self):
+        series = timeline([0.5, 1.5, 11.0], [10.0, 20.0, 30.0], bucket_s=10.0)
+        assert series == [(0.0, 15.0), (10.0, 30.0)]
+
+    def test_timeline_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            timeline([1.0], [1.0, 2.0])
+
+
+class TestComparisonTable:
+    def test_renders_all_policies(self, unit_testbed):
+        trace = unit_testbed.wikipedia_trace
+        summaries = [
+            unit_testbed.summarize(trace, "exhaustive"),
+            unit_testbed.summarize(trace, "cottage"),
+        ]
+        table = comparison_table(summaries, title="demo")
+        assert "demo" in table
+        assert "exhaustive" in table and "cottage" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_table([])
+
+
+class TestRelativeImprovement:
+    def test_basic(self):
+        assert relative_improvement(10.0, 5.0) == 0.5
+        assert relative_improvement(10.0, 12.0) == pytest.approx(-0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_improvement(0.0, 1.0)

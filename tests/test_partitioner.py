@@ -1,0 +1,113 @@
+"""Unit + property tests for document-allocation policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import (
+    Document,
+    PARTITIONERS,
+    partition,
+    partition_hash,
+    partition_random,
+    partition_round_robin,
+    partition_topical,
+)
+
+
+def docs_with_topics(n, n_topics=4):
+    return [Document(doc_id=i, text="x", topic=i % n_topics) for i in range(n)]
+
+
+class TestRoundRobin:
+    def test_deals_evenly(self):
+        groups = partition_round_robin(docs_with_topics(10), 3)
+        assert [len(g) for g in groups] == [4, 3, 3]
+
+    def test_single_shard(self):
+        groups = partition_round_robin(docs_with_topics(5), 1)
+        assert len(groups[0]) == 5
+
+
+class TestRandom:
+    def test_deterministic_by_seed(self):
+        docs = docs_with_topics(50)
+        a = partition_random(docs, 4, seed=1)
+        b = partition_random(docs, 4, seed=1)
+        assert [[d.doc_id for d in g] for g in a] == [[d.doc_id for d in g] for g in b]
+
+    def test_different_seeds_differ(self):
+        docs = docs_with_topics(50)
+        a = partition_random(docs, 4, seed=1)
+        b = partition_random(docs, 4, seed=2)
+        assert [[d.doc_id for d in g] for g in a] != [[d.doc_id for d in g] for g in b]
+
+
+class TestHash:
+    def test_deterministic(self):
+        docs = docs_with_topics(30)
+        assert partition_hash(docs, 4) == partition_hash(docs, 4)
+
+
+class TestTopical:
+    def test_topic_stays_within_spread_shards(self):
+        docs = docs_with_topics(120, n_topics=6)
+        groups = partition_topical(docs, 8, spread=2)
+        for topic in range(6):
+            shards_for_topic = {
+                sid
+                for sid, group in enumerate(groups)
+                if any(d.topic == topic for d in group)
+            }
+            assert len(shards_for_topic) <= 2
+
+    def test_balanced_sizes(self):
+        docs = docs_with_topics(160, n_topics=8)
+        groups = partition_topical(docs, 8, spread=2)
+        sizes = [len(g) for g in groups]
+        assert max(sizes) - min(sizes) <= len(docs) // 4
+
+    def test_unlabelled_fall_back_to_hash(self):
+        docs = [Document(doc_id=i, text="x") for i in range(20)]
+        groups = partition_topical(docs, 4)
+        assert sum(len(g) for g in groups) == 20
+
+    def test_spread_capped_at_n_shards(self):
+        docs = docs_with_topics(20, n_topics=2)
+        groups = partition_topical(docs, 2, spread=10)
+        assert sum(len(g) for g in groups) == 20
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(ValueError):
+            partition_topical(docs_with_topics(4), 2, spread=0)
+
+
+class TestDispatch:
+    def test_named_policies(self):
+        docs = docs_with_topics(12)
+        for name in PARTITIONERS:
+            groups = partition(docs, 3, policy=name)
+            assert sum(len(g) for g in groups) == 12
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            partition(docs_with_topics(4), 2, policy="nope")
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            partition_round_robin(docs_with_topics(4), 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_docs=st.integers(1, 120),
+    n_shards=st.integers(1, 12),
+    policy=st.sampled_from(sorted(PARTITIONERS)),
+)
+def test_partition_is_exact_cover(n_docs, n_shards, policy):
+    """Every document lands on exactly one shard, none invented or lost."""
+    docs = docs_with_topics(n_docs)
+    groups = partition(docs, n_shards, policy=policy)
+    assert len(groups) == n_shards
+    all_ids = [d.doc_id for g in groups for d in g]
+    assert sorted(all_ids) == list(range(n_docs))

@@ -1,0 +1,149 @@
+"""Tests for the personalized-search extension."""
+
+import numpy as np
+import pytest
+
+from repro.index.term_stats import TermStatsIndex
+from repro.personalization import (
+    PERSONALIZED_QUALITY_FEATURE_NAMES,
+    PersonalizedSearcher,
+    UserProfile,
+    personalized_quality_features,
+    personalized_search,
+)
+from repro.predictors import QualityPredictor
+from repro.retrieval import Query, exhaustive_search
+
+
+class TestUserProfile:
+    def test_default_weight_is_neutral(self):
+        profile = UserProfile.neutral()
+        assert profile.weight("anything") == 1.0
+
+    def test_weights_for(self):
+        profile = UserProfile(user_id="u", term_weights={"a": 2.0})
+        assert profile.weights_for(("a", "b")) == [2.0, 1.0]
+
+    def test_from_interests_mapping(self):
+        profile = UserProfile.from_interests("u", {"sport": 1.0, "news": 0.5})
+        assert profile.weight("sport") == 2.0
+        assert profile.weight("news") == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserProfile(user_id="u", term_weights={"a": -0.1})
+        with pytest.raises(ValueError):
+            UserProfile.from_interests("u", {"a": 2.0})
+
+
+class TestPersonalizedSearch:
+    def test_neutral_profile_matches_base(self, shards):
+        profile = UserProfile.neutral()
+        for terms in (["t1"], ["t1", "t12"]):
+            base = exhaustive_search(shards[0], terms, 10)
+            personal = personalized_search(shards[0], terms, 10, profile)
+            assert personal.hits == base.hits
+
+    def test_boosting_reranks(self, shards):
+        shard = shards[0]
+        terms = sorted(shard.terms(), key=lambda t: shard.doc_freq(t), reverse=True)[:2]
+        base = personalized_search(shard, terms, 10, UserProfile.neutral())
+        boosted = personalized_search(
+            shard, terms, 10,
+            UserProfile(user_id="u", term_weights={terms[1]: 5.0}),
+        )
+        assert base.hits != boosted.hits
+        # The boosted ranking favours documents containing the boosted term.
+        boosted_docs = set(shard.postings(terms[1]).doc_ids.tolist())
+        top_base = sum(1 for d, _ in base.hits[:5] if d in boosted_docs)
+        top_boosted = sum(1 for d, _ in boosted.hits[:5] if d in boosted_docs)
+        assert top_boosted >= top_base
+
+    def test_zero_weight_mutes_term(self, shards):
+        shard = shards[0]
+        terms = sorted(shard.terms(), key=lambda t: shard.doc_freq(t), reverse=True)[:2]
+        muted = personalized_search(
+            shard, terms, 10,
+            UserProfile(user_id="u", term_weights={terms[0]: 0.0}),
+        )
+        solo = exhaustive_search(shard, [terms[1]], 10)
+        # With term 0 muted, the non-zero-scored ranking is term 1's alone.
+        muted_nonzero = [(d, s) for d, s in muted.hits if s > 1e-12]
+        assert [d for d, _ in muted_nonzero] == [d for d, _ in solo.hits][: len(muted_nonzero)]
+
+    def test_weight_scales_scores_linearly(self, shards):
+        shard = shards[0]
+        term = shards[0].terms()[0]
+        base = personalized_search(shard, [term], 5, UserProfile.neutral())
+        doubled = personalized_search(
+            shard, [term], 5, UserProfile(user_id="u", term_weights={term: 2.0})
+        )
+        for (da, sa), (db, sb) in zip(base.hits, doubled.hits):
+            assert da == db
+            assert sb == pytest.approx(2 * sa)
+
+    def test_k_validation(self, shards):
+        with pytest.raises(ValueError):
+            personalized_search(shards[0], ["t1"], 0, UserProfile.neutral())
+
+
+class TestPersonalizedSearcher:
+    def test_distributed_merge(self, shards):
+        searcher = PersonalizedSearcher(shards, k=10)
+        query = Query(query_id=0, terms=("t1", "t12"))
+        result = searcher.search(query, UserProfile.neutral())
+        assert len(result.hits) <= 10
+
+    def test_contributions_sum_to_topk(self, shards):
+        searcher = PersonalizedSearcher(shards, k=10)
+        query = Query(query_id=0, terms=("t1", "t12"))
+        contributions = searcher.shard_contributions(query, UserProfile.neutral())
+        merged = searcher.search(query, UserProfile.neutral())
+        assert sum(contributions.values()) == len(merged.hits)
+
+    def test_profile_shifts_contributions(self, shards):
+        searcher = PersonalizedSearcher(shards, k=10)
+        shard = shards[0]
+        terms = tuple(
+            sorted(shard.terms(), key=lambda t: shard.doc_freq(t), reverse=True)[:2]
+        )
+        query = Query(query_id=0, terms=terms)
+        neutral = searcher.shard_contributions(query, UserProfile.neutral())
+        boosted = searcher.shard_contributions(
+            query, UserProfile(user_id="u", term_weights={terms[1]: 8.0})
+        )
+        assert neutral != boosted
+
+    def test_empty_shards_rejected(self):
+        with pytest.raises(ValueError):
+            PersonalizedSearcher([])
+
+
+class TestPersonalizedFeatures:
+    def test_extends_table1(self, shards):
+        stats = TermStatsIndex(shards[0], k=10)
+        profile = UserProfile(user_id="u", term_weights={"t1": 2.0})
+        vector = personalized_quality_features(("t1", "t2"), stats, profile)
+        assert vector.shape == (len(PERSONALIZED_QUALITY_FEATURE_NAMES),)
+        assert vector[-3] == 2.0  # max weight
+        assert vector[-2] == pytest.approx(1.5)  # mean
+        assert vector[-1] == 1.0  # min
+
+    def test_predictor_accepts_extended_width(self, shards):
+        stats = TermStatsIndex(shards[0], k=10)
+        profile = UserProfile.neutral()
+        rng = np.random.default_rng(0)
+        rows = np.stack(
+            [
+                personalized_quality_features(("t1", "t2"), stats, profile)
+                + rng.normal(0, 0.01, 13)
+                for _ in range(40)
+            ]
+        )
+        labels = rng.integers(0, 3, size=40)
+        model = QualityPredictor(
+            k=10, hidden_layers=1, hidden_units=8,
+            n_features=len(PERSONALIZED_QUALITY_FEATURE_NAMES),
+        )
+        model.fit(rows, labels, iterations=5)
+        assert model.predict_counts(rows).shape == (40,)

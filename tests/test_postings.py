@@ -1,0 +1,198 @@
+"""Unit + property tests for posting lists and cursors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.postings import (
+    END_OF_LIST,
+    PostingList,
+    PostingListBuilder,
+)
+
+
+def make_list(doc_ids, tfs=None):
+    doc_ids = list(doc_ids)
+    tfs = tfs or [1] * len(doc_ids)
+    return PostingList(
+        doc_ids=np.asarray(doc_ids, dtype=np.int64),
+        tfs=np.asarray(tfs, dtype=np.int32),
+    )
+
+
+class TestPostingList:
+    def test_length_and_max_tf(self):
+        postings = make_list([1, 5, 9], [2, 7, 1])
+        assert len(postings) == 3
+        assert postings.max_tf == 7
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            make_list([3, 2, 5])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            make_list([2, 2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            PostingList(
+                doc_ids=np.array([1, 2], dtype=np.int64),
+                tfs=np.array([1], dtype=np.int32),
+            )
+
+    def test_empty_list(self):
+        postings = make_list([])
+        assert len(postings) == 0
+        assert postings.max_tf == 0
+        assert postings.cursor().doc() == END_OF_LIST
+
+
+class TestPostingListBuilder:
+    def test_builds_sorted(self):
+        builder = PostingListBuilder()
+        builder.add(1, 2)
+        builder.add(4, 1)
+        postings = builder.build()
+        assert postings.doc_ids.tolist() == [1, 4]
+        assert postings.tfs.tolist() == [2, 1]
+
+    def test_rejects_out_of_order(self):
+        builder = PostingListBuilder()
+        builder.add(5, 1)
+        with pytest.raises(ValueError):
+            builder.add(3, 1)
+
+    def test_rejects_duplicate_doc(self):
+        builder = PostingListBuilder()
+        builder.add(5, 1)
+        with pytest.raises(ValueError):
+            builder.add(5, 2)
+
+    def test_rejects_nonpositive_tf(self):
+        with pytest.raises(ValueError):
+            PostingListBuilder().add(1, 0)
+
+
+class TestCursor:
+    def test_walks_in_order(self):
+        cursor = make_list([2, 4, 8]).cursor()
+        seen = []
+        while cursor.doc() != END_OF_LIST:
+            seen.append(cursor.doc())
+            cursor.next()
+        assert seen == [2, 4, 8]
+
+    def test_next_geq_exact_hit(self):
+        cursor = make_list([2, 4, 8]).cursor()
+        assert cursor.next_geq(4) == 4
+        assert cursor.tf() == 1
+
+    def test_next_geq_lands_after_gap(self):
+        cursor = make_list([2, 4, 8]).cursor()
+        assert cursor.next_geq(5) == 8
+
+    def test_next_geq_past_end(self):
+        cursor = make_list([2, 4, 8]).cursor()
+        assert cursor.next_geq(9) == END_OF_LIST
+        assert cursor.exhausted()
+
+    def test_next_geq_does_not_move_backwards(self):
+        cursor = make_list([2, 4, 8]).cursor()
+        cursor.next_geq(8)
+        assert cursor.next_geq(3) == 8
+
+    def test_position_and_remaining(self):
+        cursor = make_list([2, 4, 8]).cursor()
+        assert cursor.position == 0
+        assert cursor.remaining() == 3
+        cursor.next()
+        assert cursor.position == 1
+        assert cursor.remaining() == 2
+
+    def test_score_requires_attachment(self):
+        cursor = make_list([2]).cursor()
+        with pytest.raises(AssertionError):
+            cursor.score()
+        cursor.scores = np.array([1.5])
+        assert cursor.score() == 1.5
+
+
+class TestBlockMetadata:
+    def _cursor_with_blocks(self, doc_ids, scores, block_size=4):
+        cursor = make_list(doc_ids).cursor()
+        cursor.scores = np.asarray(scores, dtype=float)
+        n_blocks = (len(scores) + block_size - 1) // block_size
+        padded = np.full(n_blocks * block_size, -np.inf)
+        padded[: len(scores)] = scores
+        cursor.block_maxes = padded.reshape(n_blocks, block_size).max(axis=1)
+        cursor.block_size = block_size
+        return cursor
+
+    def test_block_max_of_current_block(self):
+        cursor = self._cursor_with_blocks(
+            list(range(10, 90, 10)), [1, 5, 2, 3, 9, 1, 1, 1]
+        )
+        assert cursor.block_max() == 5.0  # block 0 = scores[0:4]
+        cursor.next_geq(50)  # position 4 -> block 1
+        assert cursor.block_max() == 9.0
+
+    def test_block_last_doc(self):
+        cursor = self._cursor_with_blocks(
+            list(range(10, 90, 10)), [1, 2, 3, 4, 5, 6, 7, 8]
+        )
+        assert cursor.block_last_doc() == 40  # last doc of block 0
+        cursor.next_geq(50)
+        assert cursor.block_last_doc() == 80
+
+    def test_partial_final_block(self):
+        cursor = self._cursor_with_blocks([1, 2, 3, 4, 5, 6], [1, 1, 1, 1, 7, 2])
+        cursor.next_geq(5)
+        assert cursor.block_max() == 7.0
+        assert cursor.block_last_doc() == 6
+
+    def test_exhausted_cursor(self):
+        cursor = self._cursor_with_blocks([1, 2], [1.0, 2.0])
+        cursor.next_geq(100)
+        assert cursor.block_max() == 0.0
+        assert cursor.block_last_doc() == END_OF_LIST
+
+
+def test_shard_term_block_maxes_dominate_scores(shards):
+    from repro.index.shard import BLOCK_SIZE
+
+    shard = shards[0]
+    for term in shard.terms()[:10]:
+        entry = shard.term(term)
+        for i, score in enumerate(entry.scores):
+            assert score <= entry.block_maxes[i // BLOCK_SIZE] + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    doc_ids=st.lists(st.integers(0, 10_000), min_size=1, max_size=80, unique=True),
+    targets=st.lists(st.integers(0, 11_000), min_size=1, max_size=20),
+)
+def test_next_geq_matches_linear_scan(doc_ids, targets):
+    """Galloping next_geq must land exactly where a linear scan would."""
+    doc_ids = sorted(doc_ids)
+    cursor = make_list(doc_ids).cursor()
+    position = 0
+    for target in sorted(targets):
+        while position < len(doc_ids) and doc_ids[position] < target:
+            position += 1
+        expected = doc_ids[position] if position < len(doc_ids) else END_OF_LIST
+        assert cursor.next_geq(target) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(doc_ids=st.lists(st.integers(0, 5000), min_size=1, max_size=60, unique=True))
+def test_full_walk_visits_everything(doc_ids):
+    doc_ids = sorted(doc_ids)
+    cursor = make_list(doc_ids).cursor()
+    walked = []
+    while not cursor.exhausted():
+        walked.append(cursor.doc())
+        cursor.next()
+    assert walked == doc_ids

@@ -1,0 +1,54 @@
+"""Unit tests for the query model and traces."""
+
+import pytest
+
+from repro.retrieval import Query, QueryTrace
+from repro.text import StandardAnalyzer, WhitespaceAnalyzer
+
+
+class TestQuery:
+    def test_from_text_analyzes_and_dedups(self):
+        query = Query.from_text("The running RUNS", StandardAnalyzer(), query_id=3)
+        assert query.query_id == 3
+        assert len(set(query.terms)) == len(query.terms)
+        assert "runn" in query.terms or "run" in query.terms
+
+    def test_from_text_preserves_first_occurrence_order(self):
+        query = Query.from_text("b a b c", WhitespaceAnalyzer())
+        assert query.terms == ("b", "a", "c")
+
+    def test_duplicate_terms_rejected(self):
+        with pytest.raises(ValueError):
+            Query(query_id=0, terms=("a", "a"))
+
+    def test_length(self):
+        assert Query(query_id=0, terms=("a", "b")).length == 2
+
+    def test_frozen(self):
+        query = Query(query_id=0, terms=("a",))
+        with pytest.raises(AttributeError):
+            query.terms = ("b",)
+
+
+class TestQueryTrace:
+    def _trace(self):
+        return QueryTrace(
+            name="test",
+            queries=[
+                Query(query_id=0, terms=("a",), arrival_time=0.5),
+                Query(query_id=1, terms=("b", "c"), arrival_time=2.0),
+            ],
+        )
+
+    def test_len_iter_getitem(self):
+        trace = self._trace()
+        assert len(trace) == 2
+        assert [q.query_id for q in trace] == [0, 1]
+        assert trace[1].terms == ("b", "c")
+
+    def test_duration(self):
+        assert self._trace().duration == 2.0
+        assert QueryTrace(name="empty").duration == 0.0
+
+    def test_distinct_terms(self):
+        assert self._trace().distinct_terms() == {"a", "b", "c"}

@@ -1,0 +1,104 @@
+"""Queueing-theory validation of the cluster simulator.
+
+The ISN is a FIFO single server; with Poisson arrivals and (nearly)
+deterministic service, its mean waiting time must match the M/D/1
+Pollaczek-Khinchine formula  W = ρ·S / (2(1-ρ)).  A simulator that queues
+wrong would corrupt every latency figure, so this is checked directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SearchCluster
+from repro.index import Document, IndexBuilder
+from repro.policies import ExhaustivePolicy
+from repro.retrieval import Query, QueryTrace
+from repro.text import WhitespaceAnalyzer
+
+
+@pytest.fixture(scope="module")
+def single_shard_cluster():
+    builder = IndexBuilder(0, analyzer=WhitespaceAnalyzer())
+    for i in range(50):
+        builder.add(Document(doc_id=i, text="alpha " * 5 + f"filler{i}"))
+    return SearchCluster([builder.build()], k=5)
+
+
+def poisson_trace(rate_qps: float, duration_s: float, seed: int = 0) -> QueryTrace:
+    rng = np.random.default_rng(seed)
+    queries = []
+    t = 0.0
+    i = 0
+    while True:
+        t += rng.exponential(1.0 / rate_qps)
+        if t > duration_s:
+            break
+        queries.append(
+            Query(query_id=i, terms=("alpha",), arrival_time=float(t))
+        )
+        i += 1
+    return QueryTrace(name="poisson", queries=queries)
+
+
+class TestMD1:
+    def test_waits_match_lindley_recursion_exactly(self, single_shard_cluster):
+        """The event simulator must reproduce the FIFO single-server
+        Lindley recursion start_i = max(arrival_i, end_{i-1}) to the
+        floating point — any deviation means the queueing is wrong."""
+        cluster = single_shard_cluster
+        query = Query(query_id=0, terms=("alpha",))
+        service_ms = cluster.service_time_ms(query, 0)
+        trace = poisson_trace(25.0, duration_s=30.0, seed=3)
+        run = cluster.run_trace(trace, ExhaustivePolicy())
+        waits = [record.outcomes[0].queued_ms for record in run.records]
+
+        end = 0.0
+        for record, wait in zip(run.records, waits):
+            arrival = record.arrival_ms + (
+                record.latency_ms - record.outcomes[0].queued_ms - service_ms
+            ) / 2  # dispatch offset (symmetric network delay)
+            start = max(arrival, end)
+            assert wait == pytest.approx(start - arrival, abs=1e-6)
+            end = start + service_ms
+
+    def test_mean_wait_matches_pollaczek_khinchine(self, single_shard_cluster):
+        cluster = single_shard_cluster
+        query = Query(query_id=0, terms=("alpha",))
+        service_ms = cluster.service_time_ms(query, 0)
+
+        rho = 0.6
+        rate_qps = rho / (service_ms / 1000.0)
+        expected_wait = rho * service_ms / (2 * (1 - rho))
+        # Queue waits are heavily autocorrelated, so one finite trace can
+        # sit well off the infinite-horizon mean; average several seeds.
+        means = []
+        for seed in range(5):
+            trace = poisson_trace(rate_qps, duration_s=60.0, seed=seed)
+            run = cluster.run_trace(trace, ExhaustivePolicy())
+            means.append(
+                np.mean([r.outcomes[0].queued_ms for r in run.records])
+            )
+        assert np.mean(means) == pytest.approx(expected_wait, rel=0.2)
+
+    def test_utilization_matches_offered_load(self, single_shard_cluster):
+        cluster = single_shard_cluster
+        query = Query(query_id=0, terms=("alpha",))
+        service_ms = cluster.service_time_ms(query, 0)
+        rho = 0.4
+        rate_qps = rho / (service_ms / 1000.0)
+        trace = poisson_trace(rate_qps, duration_s=60.0, seed=5)
+        run = cluster.run_trace(trace, ExhaustivePolicy())
+        assert run.power.per_core_utilization[0] == pytest.approx(rho, rel=0.1)
+
+    def test_latency_is_wait_plus_service_plus_network(self, single_shard_cluster):
+        cluster = single_shard_cluster
+        query = Query(query_id=0, terms=("alpha",))
+        service_ms = cluster.service_time_ms(query, 0)
+        trace = poisson_trace(5.0, duration_s=10.0, seed=7)  # light load
+        run = cluster.run_trace(trace, ExhaustivePolicy())
+        overhead = 2 * cluster.network.delay_ms()
+        for record in run.records:
+            wait = record.outcomes[0].queued_ms
+            assert record.latency_ms == pytest.approx(
+                wait + service_ms + overhead, abs=0.01
+            )

@@ -1,0 +1,201 @@
+"""Unit + property tests for query evaluation.
+
+The central property: exhaustive, MaxScore and WAND return identical hit
+lists (same doc ids, same scores up to float summation order) while the
+pruning strategies do no more work than exhaustive evaluation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import Document, IndexBuilder
+from repro.retrieval import (
+    DistributedSearcher,
+    Query,
+    ShardSearcher,
+    block_max_wand_search,
+    exhaustive_search,
+    exhaustive_search_daat,
+    maxscore_search,
+    merge_results,
+    wand_search,
+)
+from repro.retrieval.result import CostStats, SearchResult
+from repro.text import WhitespaceAnalyzer
+
+PRUNED = {
+    "maxscore": maxscore_search,
+    "wand": wand_search,
+    "block_max_wand": block_max_wand_search,
+}
+
+
+def build_shard(n_docs=150, vocab=40, seed=0):
+    rng = random.Random(seed)
+    builder = IndexBuilder(0, analyzer=WhitespaceAnalyzer())
+    for doc_id in range(n_docs):
+        words = [f"w{rng.randint(0, vocab - 1)}" for _ in range(rng.randint(5, 30))]
+        builder.add(Document(doc_id=doc_id, text=" ".join(words)))
+    return builder.build()
+
+
+def assert_same_hits(a, b):
+    """Hit lists agree up to floating summation order.
+
+    Different strategies sum a document's term scores in different orders,
+    so genuinely tied documents can differ by 1 ulp and swap at the tie —
+    exactly like real engines.  Scores must match pairwise; doc ids must
+    match except where the scores tie.
+    """
+    assert len(a.hits) == len(b.hits)
+    for (da, sa), (db, sb) in zip(a.hits, b.hits):
+        assert sa == pytest.approx(sb, abs=1e-9)
+    # Ranks may only differ where scores tie; strictly-distinct scores pin
+    # their doc uniquely.
+    scores_a = [s for _, s in a.hits]
+    for i, ((da, sa), (db, _)) in enumerate(zip(a.hits, b.hits)):
+        if da != db:
+            tied = [
+                j for j, s in enumerate(scores_a) if abs(s - sa) <= 1e-9
+            ]
+            assert len(tied) > 1 or i == len(a.hits) - 1
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("name", sorted(PRUNED))
+    @pytest.mark.parametrize("terms", [["w0"], ["w0", "w1"], ["w3", "w7", "w11", "w2"]])
+    def test_matches_exhaustive(self, name, terms):
+        shard = build_shard()
+        assert_same_hits(
+            exhaustive_search(shard, terms, 10), PRUNED[name](shard, terms, 10)
+        )
+
+    def test_daat_reference_matches_vectorized(self):
+        shard = build_shard()
+        assert_same_hits(
+            exhaustive_search(shard, ["w1", "w2"], 10),
+            exhaustive_search_daat(shard, ["w1", "w2"], 10),
+        )
+
+    @pytest.mark.parametrize("name", sorted(PRUNED))
+    def test_pruning_does_less_or_equal_work(self, name):
+        shard = build_shard()
+        terms = ["w0", "w1", "w2"]
+        full = exhaustive_search(shard, terms, 10)
+        pruned = PRUNED[name](shard, terms, 10)
+        assert pruned.cost.docs_evaluated <= full.cost.docs_evaluated
+        assert pruned.cost.postings_scored <= full.cost.postings_scored
+
+    @pytest.mark.parametrize(
+        "search",
+        [exhaustive_search, exhaustive_search_daat, maxscore_search, wand_search],
+        ids=["vec", "daat", "maxscore", "wand"],
+    )
+    def test_unknown_terms_empty(self, search):
+        shard = build_shard()
+        result = search(shard, ["nosuchterm"], 10)
+        assert result.hits == []
+
+    @pytest.mark.parametrize(
+        "search",
+        [exhaustive_search, maxscore_search, wand_search],
+        ids=["vec", "maxscore", "wand"],
+    )
+    def test_k_validation(self, search):
+        with pytest.raises(ValueError):
+            search(build_shard(20), ["w0"], 0)
+
+    def test_k_one(self):
+        shard = build_shard()
+        terms = ["w0", "w1"]
+        assert_same_hits(
+            exhaustive_search(shard, terms, 1), maxscore_search(shard, terms, 1)
+        )
+
+    def test_k_larger_than_matches(self):
+        shard = build_shard(n_docs=10)
+        full = exhaustive_search(shard, ["w0"], 100)
+        assert len(full.hits) == shard.doc_freq("w0")
+        assert_same_hits(full, wand_search(shard, ["w0"], 100))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    k=st.integers(1, 15),
+    term_ids=st.lists(st.integers(0, 25), min_size=1, max_size=5, unique=True),
+)
+def test_equivalence_property(seed, k, term_ids):
+    """Random shards, random queries: all strategies agree."""
+    shard = build_shard(n_docs=80, vocab=26, seed=seed)
+    terms = [f"w{i}" for i in term_ids]
+    reference = exhaustive_search(shard, terms, k)
+    for strategy in PRUNED.values():
+        assert_same_hits(reference, strategy(shard, terms, k))
+
+
+class TestMergeResults:
+    def test_merges_and_sorts(self):
+        a = SearchResult(hits=[(1, 5.0), (2, 1.0)], cost=CostStats(docs_evaluated=10))
+        b = SearchResult(hits=[(3, 3.0)], cost=CostStats(docs_evaluated=7))
+        merged = merge_results([a, b], k=2)
+        assert merged.hits == [(1, 5.0), (3, 3.0)]
+        assert merged.cost.docs_evaluated == 17
+
+    def test_tie_break_doc_id(self):
+        a = SearchResult(hits=[(9, 2.0)])
+        b = SearchResult(hits=[(4, 2.0)])
+        assert merge_results([a, b], 1).hits == [(4, 2.0)]
+
+    def test_empty(self):
+        assert merge_results([], 5).hits == []
+
+
+class TestShardSearcher:
+    def test_caches_by_terms(self, shards):
+        searcher = ShardSearcher(shards[0], k=5)
+        q1 = Query(query_id=1, terms=("t1", "t2"))
+        q2 = Query(query_id=2, terms=("t1", "t2"))
+        assert searcher.search(q1) is searcher.search(q2)
+
+    def test_rejects_unknown_strategy(self, shards):
+        with pytest.raises(ValueError):
+            ShardSearcher(shards[0], strategy="bogus")
+
+    def test_search_terms_dedups(self, shards):
+        searcher = ShardSearcher(shards[0], k=5)
+        result = searcher.search_terms(["t1", "t1", "t2"])
+        assert result is searcher.search(Query(query_id=0, terms=("t1", "t2")))
+
+
+class TestDistributedSearcher:
+    def test_search_all_matches_manual_merge(self, shards):
+        ds = DistributedSearcher(shards, k=10)
+        query = Query(query_id=0, terms=("t1", "t12"))
+        merged = ds.search(query)
+        manual = merge_results(
+            [ds.search_shard(sid, query) for sid in range(len(shards))], 10
+        )
+        assert merged.hits == manual.hits
+
+    def test_subset_search(self, shards):
+        ds = DistributedSearcher(shards, k=10)
+        query = Query(query_id=0, terms=("t1",))
+        subset = ds.search(query, shard_ids=[0, 1])
+        all_docs_on_01 = set(shards[0].doc_lengths) | set(shards[1].doc_lengths)
+        assert all(doc in all_docs_on_01 for doc in subset.doc_ids())
+
+    def test_contributions_sum_to_topk(self, shards):
+        ds = DistributedSearcher(shards, k=10)
+        query = Query(query_id=0, terms=("t1", "t12"))
+        contributions = ds.shard_contributions(query)
+        merged = ds.search(query)
+        assert sum(contributions.values()) == len(merged.hits[:10])
+
+    def test_contribution_k_capped(self, shards):
+        ds = DistributedSearcher(shards, k=10)
+        with pytest.raises(ValueError):
+            ds.shard_contributions(Query(query_id=0, terms=("t1",)), k=50)

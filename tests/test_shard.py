@@ -1,0 +1,56 @@
+"""Edge-case tests for the IndexShard API."""
+
+import pytest
+
+from repro.index import BLOCK_SIZE, Document, IndexBuilder
+from repro.text import WhitespaceAnalyzer
+
+
+@pytest.fixture(scope="module")
+def shard():
+    builder = IndexBuilder(3, analyzer=WhitespaceAnalyzer())
+    builder.add(Document(doc_id=10, text="alpha beta beta"))
+    builder.add(Document(doc_id=20, text="beta gamma"))
+    return builder.build()
+
+
+class TestShardAPI:
+    def test_has_term(self, shard):
+        assert shard.has_term("beta")
+        assert not shard.has_term("delta")
+
+    def test_doc_freq_absent_term(self, shard):
+        assert shard.doc_freq("delta") == 0
+
+    def test_idf_absent_term_is_max(self, shard):
+        # df = 0 gives the largest idf the similarity can emit.
+        assert shard.idf("delta") >= shard.idf("beta")
+
+    def test_postings_and_scores_none_for_absent(self, shard):
+        assert shard.postings("delta") is None
+        assert shard.scores("delta") is None
+        assert shard.upper_bound("delta") == 0.0
+
+    def test_vocabulary_and_terms(self, shard):
+        assert shard.vocabulary_size() == 3
+        assert set(shard.terms()) == {"alpha", "beta", "gamma"}
+
+    def test_contains_doc(self, shard):
+        assert shard.contains_doc(10)
+        assert not shard.contains_doc(11)
+
+    def test_len_is_doc_count(self, shard):
+        assert len(shard) == 2
+
+    def test_shard_id(self, shard):
+        assert shard.shard_id == 3
+
+    def test_block_maxes_exist_for_all_terms(self, shard):
+        for term in shard.terms():
+            entry = shard.term(term)
+            expected_blocks = (len(entry.postings) + BLOCK_SIZE - 1) // BLOCK_SIZE
+            assert entry.block_maxes.shape == (expected_blocks,)
+
+    def test_global_defaults_to_local_when_unset(self, shard):
+        assert shard.n_docs_global == shard.n_docs
+        assert shard.term("beta").global_doc_freq == shard.doc_freq("beta")

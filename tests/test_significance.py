@@ -1,0 +1,72 @@
+"""Tests for the paired-bootstrap significance tooling."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import compare_latencies, paired_bootstrap
+
+
+class TestPairedBootstrap:
+    def test_clear_improvement_is_significant(self):
+        rng = np.random.default_rng(0)
+        baseline = rng.exponential(10.0, size=400)
+        treatment = baseline * 0.5  # exactly halves every query
+        result = paired_bootstrap(baseline, treatment)
+        assert result.significant
+        assert result.ci_low > 0
+        assert result.mean_difference == pytest.approx(np.mean(baseline) * 0.5)
+
+    def test_no_effect_is_not_significant(self):
+        rng = np.random.default_rng(1)
+        baseline = rng.exponential(10.0, size=400)
+        treatment = baseline + rng.normal(0, 0.5, size=400)
+        result = paired_bootstrap(baseline, treatment)
+        assert not result.significant
+
+    def test_regression_detected_with_sign(self):
+        rng = np.random.default_rng(2)
+        baseline = rng.exponential(10.0, size=400)
+        result = paired_bootstrap(baseline, baseline * 1.5)
+        assert result.significant
+        assert result.ci_high < 0  # treatment is worse
+
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(3)
+        baseline = rng.exponential(5.0, size=200)
+        treatment = rng.exponential(4.0, size=200)
+        result = paired_bootstrap(baseline, treatment)
+        assert result.ci_low <= result.mean_difference <= result.ci_high
+
+    def test_deterministic_by_seed(self):
+        baseline = np.arange(1.0, 51.0)
+        treatment = baseline * 0.9
+        a = paired_bootstrap(baseline, treatment, seed=7)
+        b = paired_bootstrap(baseline, treatment, seed=7)
+        assert (a.ci_low, a.ci_high) == (b.ci_low, b.ci_high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0, 2.0], [1.0, 2.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0, 2.0], [1.0, 2.0], n_resamples=10)
+
+
+class TestCompareLatencies:
+    def test_cottage_significantly_faster(self, unit_testbed):
+        trace = unit_testbed.wikipedia_trace
+        exhaustive = unit_testbed.run(trace, "exhaustive")
+        cottage = unit_testbed.run(trace, "cottage")
+        result = compare_latencies(exhaustive, cottage)
+        assert result.significant
+        assert result.ci_low > 0
+        assert result.n_samples == len(trace)
+
+    def test_mismatched_traces_rejected(self, unit_testbed):
+        wiki = unit_testbed.run(unit_testbed.wikipedia_trace, "exhaustive")
+        lucene = unit_testbed.run(unit_testbed.lucene_trace, "exhaustive")
+        with pytest.raises(ValueError):
+            compare_latencies(wiki, lucene)

@@ -1,0 +1,120 @@
+"""Tests for PowerNap-style sleep states."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PowerModel, SearchCluster, SleepPolicy
+from repro.cluster.power import EnergyMeter
+from repro.policies import ExhaustivePolicy
+from repro.retrieval import Query, QueryTrace
+
+
+class TestSleepPolicy:
+    def test_gap_accounting(self):
+        policy = SleepPolicy(nap_after_ms=50.0, wake_ms=2.0)
+        assert policy.nap_ms_in_gap(30.0) == 0.0
+        assert policy.nap_ms_in_gap(80.0) == 30.0
+        assert policy.wake_penalty_ms(30.0) == 0.0
+        assert policy.wake_penalty_ms(80.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SleepPolicy(nap_after_ms=-1.0)
+        with pytest.raises(ValueError):
+            SleepPolicy(wake_ms=-1.0)
+        with pytest.raises(ValueError):
+            SleepPolicy(nap_power_w=-0.1)
+
+
+class TestMeterNapCredit:
+    def test_nap_reduces_total_energy(self):
+        model = PowerModel()
+        plain = EnergyMeter(model)
+        napping = EnergyMeter(model)
+        napping.add_nap(500.0, nap_power_w=0.0)
+        assert napping.total_energy_mj(1000.0) < plain.total_energy_mj(1000.0)
+        assert napping.nap_ms == 500.0
+
+    def test_savings_capped_at_idle_energy(self):
+        model = PowerModel()
+        meter = EnergyMeter(model)
+        meter.add_nap(1e9, nap_power_w=0.0)  # absurd credit
+        assert meter.total_energy_mj(1000.0) >= 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter(PowerModel()).add_nap(-1.0, 0.0)
+
+
+def sparse_trace(n=10, gap_s=0.5):
+    return QueryTrace(
+        name="sparse",
+        queries=[
+            Query(query_id=i, terms=("t1",), arrival_time=i * gap_s)
+            for i in range(n)
+        ],
+    )
+
+
+class TestNappingRuns:
+    def test_nap_saves_power_at_light_load(self, shards):
+        cluster = SearchCluster(shards, k=5)
+        trace = sparse_trace()
+        awake = cluster.run_trace(trace, ExhaustivePolicy())
+        napping = cluster.run_trace(
+            trace, ExhaustivePolicy(), sleep=SleepPolicy(nap_after_ms=20.0)
+        )
+        assert napping.power.average_power_w < awake.power.average_power_w
+
+    def test_wake_latency_charged(self, shards):
+        cluster = SearchCluster(shards, k=5)
+        trace = sparse_trace()
+        awake = cluster.run_trace(trace, ExhaustivePolicy())
+        napping = cluster.run_trace(
+            trace, ExhaustivePolicy(),
+            sleep=SleepPolicy(nap_after_ms=20.0, wake_ms=5.0),
+        )
+        # Every query wakes sleeping ISNs: latency rises by ~the wake time.
+        delta = np.mean(napping.latencies_ms()) - np.mean(awake.latencies_ms())
+        assert 3.0 < delta < 7.0
+
+    def test_busy_runs_never_nap(self, shards):
+        cluster = SearchCluster(shards, k=5)
+        dense = QueryTrace(
+            name="dense",
+            queries=[
+                Query(query_id=i, terms=("t1",), arrival_time=i * 0.001)
+                for i in range(50)
+            ],
+        )
+        awake = cluster.run_trace(dense, ExhaustivePolicy())
+        napping = cluster.run_trace(
+            dense, ExhaustivePolicy(), sleep=SleepPolicy(nap_after_ms=1000.0)
+        )
+        # Gaps never exceed the nap threshold mid-trace; only the initial
+        # and trailing gaps can nap, so latency is unchanged.
+        assert napping.latencies_ms() == pytest.approx(awake.latencies_ms())
+
+    def test_untouched_isn_naps_whole_trace(self, shards):
+        from repro.cluster.types import Decision
+
+        class OnlyShardZero:
+            name = "only0"
+
+            def decide(self, query, view):
+                return Decision(shard_ids=(0,))
+
+            def observe(self, record):
+                pass
+
+        cluster = SearchCluster(shards, k=5)
+        trace = sparse_trace()
+        run = cluster.run_trace(
+            trace, OnlyShardZero(), sleep=SleepPolicy(nap_after_ms=20.0)
+        )
+        # Shards 1-3 slept essentially the entire run (trailing credit).
+        idle_power = cluster.power_model.core_static_w
+        assert run.power.per_core_utilization[1] == 0.0
+        assert run.power.average_power_w < cluster.power_model.idle_package_w(
+            len(shards)
+        ) + 2.0

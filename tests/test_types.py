@@ -1,0 +1,69 @@
+"""Validation tests for the shared cluster datatypes."""
+
+import pytest
+
+from repro.cluster.types import ClusterView, Decision, QueryRecord, ShardOutcome
+from repro.retrieval import Query, SearchResult
+
+
+class TestDecision:
+    def test_minimal(self):
+        decision = Decision(shard_ids=(0, 1))
+        assert decision.time_budget_ms is None
+        assert decision.frequency_overrides == {}
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(ValueError):
+            Decision(shard_ids=(0, 0))
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Decision(shard_ids=(0,), time_budget_ms=0.0)
+
+    def test_negative_coordination_rejected(self):
+        with pytest.raises(ValueError):
+            Decision(shard_ids=(0,), coordination_delay_ms=-1.0)
+
+    def test_override_for_unselected_shard_rejected(self):
+        with pytest.raises(ValueError):
+            Decision(shard_ids=(0,), frequency_overrides={5: 2.7})
+
+    def test_empty_selection_allowed(self):
+        assert Decision(shard_ids=()).shard_ids == ()
+
+
+class TestClusterView:
+    def test_queue_length_must_match(self):
+        with pytest.raises(ValueError):
+            ClusterView(
+                now_ms=0.0, n_shards=3, default_freq_ghz=2.1, max_freq_ghz=2.7,
+                queued_predicted_ms=(0.0, 0.0),
+            )
+
+
+class TestQueryRecord:
+    def _record(self, outcomes):
+        return QueryRecord(
+            query=Query(query_id=0, terms=("a",)),
+            arrival_ms=0.0,
+            latency_ms=5.0,
+            result=SearchResult(),
+            decision=Decision(shard_ids=(0, 1)),
+            outcomes=outcomes,
+        )
+
+    def test_counts(self):
+        record = self._record(
+            [
+                ShardOutcome(shard_id=0, counted=True, docs_evaluated=10),
+                ShardOutcome(shard_id=1, counted=False, docs_evaluated=4),
+            ]
+        )
+        assert record.n_selected == 2
+        assert record.n_counted == 1
+        assert record.docs_searched == 14
+
+    def test_defaults(self):
+        record = self._record([])
+        assert record.from_cache is False
+        assert record.docs_searched == 0
