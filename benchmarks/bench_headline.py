@@ -9,6 +9,14 @@ def test_headline(benchmark, testbed):
     result = benchmark.pedantic(lambda: headline.run(testbed), rounds=1, iterations=1)
     print()
     print(headline.format_report(result))
+    # How much retrieval the memo layer absorbed, and through which
+    # executor it fanned out (REPRO_WORKERS; serial by default).
+    stats = testbed.cluster.searcher_cache_stats()
+    print(
+        f"retrieval fan-out: {testbed.cluster.executor!r}, memo "
+        f"{sum(s.hits for s in stats)} hits / "
+        f"{sum(s.computations for s in stats)} evaluations"
+    )
     # The reproduction's bars (documented in EXPERIMENTS.md): direction and
     # rough magnitude of every abstract claim.
     assert result.latency_reduction > 0.2

@@ -89,7 +89,7 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.index import load_shards
-    from repro.retrieval import DistributedSearcher, Query
+    from repro.retrieval import DistributedSearcher, Query, make_executor
     from repro.text import StandardAnalyzer, WhitespaceAnalyzer
 
     shards = load_shards(args.index)
@@ -98,16 +98,27 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if not query.terms:
         print("query analyzed to no terms", file=sys.stderr)
         return 1
-    searcher = DistributedSearcher(shards, k=args.k, strategy=args.strategy)
-    result = searcher.search(query)
+    with make_executor(args.workers) as executor:
+        searcher = DistributedSearcher(
+            shards, k=args.k, strategy=args.strategy, executor=executor
+        )
+        result = searcher.search(query)
+        stats = executor.last_stats
     print(f"terms: {list(query.terms)}  ({result.cost.docs_evaluated} docs evaluated)")
+    if stats is not None and executor.workers > 1:
+        print(
+            f"fan-out: {stats.n_tasks} shards x {executor.workers} workers, "
+            f"critical path {stats.critical_path_ms:.3f} ms "
+            f"(serial {stats.serial_ms:.3f} ms, "
+            f"modeled speedup {stats.modeled_speedup:.1f}x)"
+        )
     for rank, (doc_id, score) in enumerate(result.hits, start=1):
         print(f"  {rank:2d}. doc {doc_id:<8d} score {score:.4f}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    testbed = Testbed.build(_scale(args.scale))
+    testbed = Testbed.build(_scale(args.scale), workers=args.workers)
     names = tuple(args.policies) if args.policies else ALL_POLICIES
     traces = {
         "wikipedia": (testbed.wikipedia_trace,),
@@ -129,7 +140,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    testbed = Testbed.build(_scale(args.scale))
+    testbed = Testbed.build(_scale(args.scale), workers=args.workers)
     print(module.format_report(module.run(testbed)))
     return 0
 
@@ -146,11 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--out", required=True, help="output directory")
     build.set_defaults(fn=_cmd_build_index)
 
+    workers_help = (
+        "shard fan-out worker threads (default 1 = serial; results are "
+        "bit-identical at any worker count)"
+    )
+
     search = sub.add_parser("search", help="query a saved index")
     search.add_argument("index", help="directory written by build-index")
     search.add_argument("terms", nargs="+", help="query text")
     search.add_argument("-k", type=int, default=10)
     search.add_argument("--strategy", default="maxscore")
+    search.add_argument("--workers", type=int, default=1, help=workers_help)
     search.add_argument(
         "--raw-terms", action="store_true",
         help="skip English analysis (synthetic 'tNNN' vocabularies)",
@@ -162,11 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--trace", default="both",
                          choices=("wikipedia", "lucene", "both"))
     compare.add_argument("--policies", nargs="*", metavar="POLICY")
+    compare.add_argument("--workers", type=int, default=1, help=workers_help)
     compare.set_defaults(fn=_cmd_compare)
 
     figure = sub.add_parser("figure", help="reproduce one paper figure/table")
     figure.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
     figure.add_argument("--scale", default="unit")
+    figure.add_argument("--workers", type=int, default=1, help=workers_help)
     figure.set_defaults(fn=_cmd_figure)
 
     return parser

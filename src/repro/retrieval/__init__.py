@@ -7,11 +7,25 @@ differ only in cost — the property the test suite checks exhaustively.
 
 from repro.retrieval.block_max_wand import block_max_wand_search
 from repro.retrieval.conjunctive import conjunctive_search
+from repro.retrieval.executor import (
+    BatchExecutor,
+    FanoutStats,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    make_executor,
+    prewarm_searchers,
+)
 from repro.retrieval.exhaustive import exhaustive_search, exhaustive_search_daat
 from repro.retrieval.maxscore import maxscore_search
 from repro.retrieval.query import Query, QueryTrace
 from repro.retrieval.result import CostStats, SearchResult, merge_results
-from repro.retrieval.searcher import STRATEGIES, DistributedSearcher, ShardSearcher
+from repro.retrieval.searcher import (
+    STRATEGIES,
+    DistributedSearcher,
+    SearcherCacheStats,
+    ShardSearcher,
+)
 from repro.retrieval.topk import TopKCollector
 from repro.retrieval.wand import wand_search
 
@@ -29,6 +43,14 @@ __all__ = [
     "block_max_wand_search",
     "conjunctive_search",
     "ShardSearcher",
+    "SearcherCacheStats",
     "DistributedSearcher",
     "STRATEGIES",
+    "ShardExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "BatchExecutor",
+    "FanoutStats",
+    "make_executor",
+    "prewarm_searchers",
 ]

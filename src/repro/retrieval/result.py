@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.retrieval.topk import TopKCollector
+
 
 @dataclass
 class CostStats:
@@ -41,6 +43,20 @@ class SearchResult:
     def doc_ids(self) -> list[int]:
         return [doc_id for doc_id, _ in self.hits]
 
+    def fingerprint(self) -> str:
+        """Canonical byte-for-byte identity: hits (full float repr) + cost.
+
+        Two results with the same fingerprint are interchangeable
+        everywhere downstream; the executor determinism tests compare
+        serial and parallel runs on exactly this.
+        """
+        hit_part = ";".join(f"{doc}:{score!r}" for doc, score in self.hits)
+        cost = self.cost
+        return (
+            f"{hit_part}|{cost.docs_evaluated},{cost.postings_scored},"
+            f"{cost.postings_skipped},{cost.n_terms}"
+        )
+
     def __len__(self) -> int:
         return len(self.hits)
 
@@ -52,11 +68,17 @@ def merge_results(results: list[SearchResult], k: int) -> SearchResult:
     similarity over its own collection statistics — the same assumption
     Solr's distributed search makes.  Costs are summed, which makes the
     merged ``docs_evaluated`` exactly C_RES.
+
+    The merge is order-independent for the hits: the ``TopKCollector``
+    orders by the total key ``(-score, doc id)``, so shuffling the input
+    lists (e.g. results gathered from a thread-pool fan-out) cannot
+    change the output.  Cost counters are summed — commutative in every
+    field — so the merged result is bit-identical however the per-shard
+    results were produced.
     """
-    merged: list[tuple[int, float]] = []
     total = CostStats()
+    collector = TopKCollector(k)
     for result in results:
-        merged.extend(result.hits)
         total.merge(result.cost)
-    merged.sort(key=lambda hit: (-hit[1], hit[0]))
-    return SearchResult(hits=merged[:k], cost=total)
+        collector.offer_all(result.hits)
+    return SearchResult(hits=collector.results(), cost=total)

@@ -3,14 +3,19 @@
 ``ShardSearcher`` is what an ISN runs; ``DistributedSearcher`` is the pure
 retrieval view of the whole cluster (broadcast + merge) without any timing —
 the cluster simulator layers queueing, frequencies and budgets on top of it.
+Both are safe to drive from a ``ShardExecutor`` thread pool: the memo cache
+guarantees exactly-once evaluation per key without locking the hit path.
 """
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.index.shard import IndexShard
 from repro.retrieval.block_max_wand import block_max_wand_search
+from repro.retrieval.executor import SerialExecutor, ShardExecutor
 from repro.retrieval.exhaustive import exhaustive_search, exhaustive_search_daat
 from repro.retrieval.maxscore import maxscore_search
 from repro.retrieval.query import Query
@@ -25,14 +30,61 @@ STRATEGIES: dict[str, Callable[[IndexShard, list[str], int], SearchResult]] = {
     "block_max_wand": block_max_wand_search,
 }
 
+CacheKey = tuple[tuple[str, ...], int, str]
+
+
+@dataclass(frozen=True)
+class SearcherCacheStats:
+    """Memo-cache counters for one ``ShardSearcher``.
+
+    ``computations`` and ``size`` are exact (only a key's owner thread
+    increments them).  ``hits`` is maintained with plain unlocked
+    increments so the hit path stays lock-free; under heavy thread races
+    it can undercount, never overcount.
+    """
+
+    hits: int
+    computations: int
+    size: int
+
+
+class _Pending:
+    """In-flight computation other threads can wait on (exactly-once)."""
+
+    __slots__ = ("_event", "result", "error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.result: SearchResult | None = None
+        self.error: BaseException | None = None
+
+    def publish(self, result: SearchResult | None, error: BaseException | None) -> None:
+        self.result = result
+        self.error = error
+        self._event.set()
+
+    def wait(self) -> SearchResult:
+        self._event.wait()
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
 
 class ShardSearcher:
     """Executes queries on one shard with a fixed strategy and k.
 
-    Results are memoized by query terms: trace replay repeats popular
-    queries many times, and re-running retrieval for each occurrence would
-    dominate simulation time without changing any outcome (the index is
-    immutable).
+    Results are memoized: trace replay repeats popular queries many
+    times, and re-running retrieval for each occurrence would dominate
+    simulation time without changing any outcome (the index is
+    immutable).  The memo key is ``(terms, k, strategy)`` — not terms
+    alone — so a searcher whose ``k`` or ``strategy`` is changed between
+    calls can never serve a stale, differently-truncated result.
+
+    Thread safety: the cache is written through a per-key in-flight
+    registry, so concurrent misses on the same key compute **exactly
+    once** (losers block until the owner publishes) while the hit path
+    stays a single lock-free ``dict.get``.
     """
 
     def __init__(self, shard: IndexShard, k: int = 10, strategy: str = "maxscore") -> None:
@@ -44,15 +96,61 @@ class ShardSearcher:
         self.k = k
         self.strategy = strategy
         self._search = STRATEGIES[strategy]
-        self._cache: dict[tuple[str, ...], SearchResult] = {}
+        self._cache: dict[CacheKey, SearchResult] = {}
+        self._pending: dict[CacheKey, _Pending] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._computations = 0
+
+    def cache_key(self, query: Query) -> CacheKey:
+        return (query.terms, self.k, self.strategy)
+
+    def is_cached(self, query: Query) -> bool:
+        return self.cache_key(query) in self._cache
+
+    @property
+    def cache_stats(self) -> SearcherCacheStats:
+        return SearcherCacheStats(
+            hits=self._hits,
+            computations=self._computations,
+            size=len(self._cache),
+        )
 
     def search(self, query: Query) -> SearchResult:
-        key = query.terms
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self._search(self.shard, list(query.terms), self.k)
-            self._cache[key] = cached
-        return cached
+        key = self.cache_key(query)
+        cached = self._cache.get(key)  # lock-free hot path
+        if cached is not None:
+            self._hits += 1
+            return cached
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached
+            pending = self._pending.get(key)
+            if pending is None:
+                pending = self._pending[key] = _Pending()
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            return pending.wait()
+        strategy = STRATEGIES[key[2]]
+        try:
+            result = strategy(self.shard, list(query.terms), key[1])
+        except BaseException as exc:
+            pending.publish(None, exc)
+            with self._lock:
+                self._pending.pop(key, None)
+            raise
+        # Publish to the cache before waking waiters so every later
+        # lookup (including theirs) sees the same object.
+        self._cache[key] = result
+        self._computations += 1
+        pending.publish(result, None)
+        with self._lock:
+            self._pending.pop(key, None)
+        return result
 
     def search_terms(self, terms: list[str]) -> SearchResult:
         return self.search(Query(query_id=-1, terms=tuple(dict.fromkeys(terms))))
@@ -62,13 +160,22 @@ class DistributedSearcher:
     """Timing-free distributed retrieval: broadcast to shards, merge top-k.
 
     This is the ground-truth engine: ``search`` over all shards gives the
-    exhaustive result that defines P@K and per-ISN quality labels.
+    exhaustive result that defines P@K and per-ISN quality labels.  The
+    fan-out runs through ``executor`` (serial by default); the merged
+    result is bit-identical for every executor because per-shard results
+    come back in submission order and the merge orders hits by the total
+    key ``(-score, doc_id)``.
     """
 
     def __init__(
-        self, shards: list[IndexShard], k: int = 10, strategy: str = "maxscore"
+        self,
+        shards: list[IndexShard],
+        k: int = 10,
+        strategy: str = "maxscore",
+        executor: ShardExecutor | None = None,
     ) -> None:
         self.k = k
+        self.executor = executor or SerialExecutor()
         self.searchers = [ShardSearcher(shard, k=k, strategy=strategy) for shard in shards]
 
     @property
@@ -82,8 +189,14 @@ class DistributedSearcher:
         """Search a subset of shards (default: all) and merge."""
         if shard_ids is None:
             shard_ids = list(range(self.n_shards))
-        per_shard = [self.searchers[sid].search(query) for sid in shard_ids]
+        per_shard = self.executor.map(
+            [lambda s=self.searchers[sid]: s.search(query) for sid in shard_ids]
+        )
         return merge_results(per_shard, self.k)
+
+    def cache_stats(self) -> list[SearcherCacheStats]:
+        """Per-shard memo counters, in shard order."""
+        return [searcher.cache_stats for searcher in self.searchers]
 
     def shard_contributions(self, query: Query, k: int | None = None) -> dict[int, int]:
         """Per-shard document counts in the global top-k (quality labels).

@@ -1,16 +1,27 @@
-"""Shared fixtures.
+"""Shared fixtures and Hypothesis profiles.
 
 Expensive artifacts (corpus, shards, trained testbed) are session-scoped:
 they are deterministic, immutable, and shared read-only by many tests.
+
+Two Hypothesis profiles are registered: ``dev`` (the default — few
+examples, fast inner loop) and ``ci`` (at least 100 examples per
+property, what the CI workflow runs).  Select with
+``HYPOTHESIS_PROFILE=ci pytest ...``.
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.experiments import Scale, Testbed
+
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.register_profile("dev", max_examples=15, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.index import Document, build_shards, partition_topical
 from repro.text import WhitespaceAnalyzer
 from repro.workloads import CorpusConfig, SyntheticCorpus, training_queries
