@@ -1,0 +1,67 @@
+"""Standalone inference-plane benchmark harness.
+
+Builds a testbed, times the per-query reference loop against the fused
+batched kernels, prints the report, and writes ``BENCH_inference.json``
+for the perf trajectory (CI uploads it as an artifact)::
+
+    python benchmarks/run_bench.py --scale small --out BENCH_inference.json
+
+Exits nonzero if the batched plane is slower than ``--fail-below`` times
+the loop, or if the two paths ever disagree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import Scale, Testbed, bench_inference  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_SCALE", "small"),
+        help="unit, small or full (default: $REPRO_SCALE or small)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", default="BENCH_inference.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--fail-below", type=float, default=1.0,
+        help="exit nonzero if speedup falls below this factor",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        scale = getattr(Scale, args.scale)()
+    except AttributeError:
+        parser.error(f"unknown scale {args.scale!r}; use unit, small or full")
+
+    print(f"building {args.scale} testbed...", flush=True)
+    testbed = Testbed.build(scale)
+    result = bench_inference.run(testbed, repeats=args.repeats)
+    print(bench_inference.format_report(result))
+    bench_inference.write_json(result, args.out)
+    print(f"wrote {args.out}")
+
+    if not result.bit_identical:
+        print("FAIL: batched predictions are not bit-identical", file=sys.stderr)
+        return 1
+    if result.speedup < args.fail_below:
+        print(
+            f"FAIL: speedup {result.speedup:.2f}x below "
+            f"--fail-below {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

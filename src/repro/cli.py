@@ -6,6 +6,7 @@ Four subcommands cover the common workflows::
     repro search index_dir/ canada weather             # query a saved index
     repro compare --scale unit --trace wikipedia       # policy comparison table
     repro figure fig10 --scale small                   # one paper figure/table
+    repro bench --scale small --out BENCH_inference.json  # inference microbench
 
 ``python -m repro ...`` works identically.
 """
@@ -145,6 +146,28 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import bench_inference
+
+    testbed = Testbed.build(_scale(args.scale), workers=args.workers)
+    result = bench_inference.run(testbed, repeats=args.repeats)
+    print(bench_inference.format_report(result))
+    if args.out:
+        bench_inference.write_json(result, args.out)
+        print(f"wrote {args.out}")
+    if not result.bit_identical:
+        print("FAIL: batched predictions are not bit-identical", file=sys.stderr)
+        return 1
+    if result.speedup < args.fail_below:
+        print(
+            f"FAIL: speedup {result.speedup:.2f}x below "
+            f"--fail-below {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -187,6 +210,19 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", default="unit")
     figure.add_argument("--workers", type=int, default=1, help=workers_help)
     figure.set_defaults(fn=_cmd_figure)
+
+    bench = sub.add_parser(
+        "bench", help="run the batched-inference microbenchmark"
+    )
+    bench.add_argument("--scale", default="small")
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--out", default="", help="write BENCH_inference.json here")
+    bench.add_argument(
+        "--fail-below", type=float, default=1.0,
+        help="exit nonzero if speedup falls below this factor",
+    )
+    bench.add_argument("--workers", type=int, default=1, help=workers_help)
+    bench.set_defaults(fn=_cmd_bench)
 
     return parser
 

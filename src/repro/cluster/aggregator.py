@@ -87,7 +87,7 @@ class Aggregator:
         """Entry point, fired by the engine at the query's arrival time."""
         arrival = self.sim.now
         if self.cache is not None:
-            cached = self.cache.get(query.terms, arrival)
+            cached = self.cache.get(query.terms, self.k, arrival)
             if cached is not None:
                 record = QueryRecord(
                     query=query,
@@ -207,7 +207,7 @@ class Aggregator:
                 pending.outcomes[sid].counted = True
         merged = merge_results(list(pending.responses.values()), self.k)
         if self.cache is not None:
-            self.cache.put(pending.query.terms, merged, self.sim.now)
+            self.cache.put(pending.query.terms, self.k, merged, self.sim.now)
         record = QueryRecord(
             query=pending.query,
             arrival_ms=pending.arrival_ms,

@@ -37,7 +37,13 @@ class CacheStats:
 
 
 class ResultCache:
-    """LRU result cache keyed by the query's term tuple."""
+    """LRU result cache keyed by the query's term tuple and result depth.
+
+    ``k`` is part of the key: a result merged for one depth must never
+    answer a lookup at another (a top-2 response replayed for a top-10
+    request would silently truncate the answer; the reverse would return
+    more hits than the aggregator merged for).
+    """
 
     def __init__(
         self,
@@ -64,30 +70,36 @@ class ResultCache:
         self.capacity = capacity
         self.ttl_ms = ttl_ms
         self.lookup_ms = lookup_ms
-        self._entries: OrderedDict[tuple[str, ...], tuple[float, SearchResult]] = (
-            OrderedDict()
-        )
+        self._entries: OrderedDict[
+            tuple[tuple[str, ...], int], tuple[float, SearchResult]
+        ] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
-    def get(self, terms: tuple[str, ...], now_ms: float) -> SearchResult | None:
-        """Cached result for ``terms``, honouring TTL; None on miss."""
-        entry = self._entries.get(terms)
+    def get(
+        self, terms: tuple[str, ...], k: int, now_ms: float
+    ) -> SearchResult | None:
+        """Cached result for ``(terms, k)``, honouring TTL; None on miss."""
+        key = (terms, k)
+        entry = self._entries.get(key)
         if entry is not None:
             stored_ms, result = entry
             if self.ttl_ms is None or now_ms - stored_ms <= self.ttl_ms:
-                self._entries.move_to_end(terms)
+                self._entries.move_to_end(key)
                 self._hits += 1
                 return result
-            del self._entries[terms]  # expired
+            del self._entries[key]  # expired
         self._misses += 1
         return None
 
-    def put(self, terms: tuple[str, ...], result: SearchResult, now_ms: float) -> None:
-        if terms in self._entries:
-            self._entries.move_to_end(terms)
-        self._entries[terms] = (now_ms, result)
+    def put(
+        self, terms: tuple[str, ...], k: int, result: SearchResult, now_ms: float
+    ) -> None:
+        key = (terms, k)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (now_ms, result)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self._evictions += 1
@@ -95,8 +107,8 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, terms: tuple[str, ...]) -> bool:
-        return terms in self._entries
+    def __contains__(self, key: tuple[tuple[str, ...], int]) -> bool:
+        return key in self._entries
 
     @property
     def stats(self) -> CacheStats:

@@ -106,15 +106,29 @@ class SearchCluster:
 
         ``prewarm`` pipelines the whole trace's retrieval through the
         cluster executor before the event loop starts, so the serial
-        simulation replays against hot memo caches.  Default: on iff the
-        executor has more than one worker.  Retrieval is pure and
-        memoized, so prewarming never changes a simulation outcome —
-        it only moves where the CPU time is spent.
+        simulation replays against hot memo caches, and hands the policy
+        the whole trace so it can batch its own pure per-query work
+        (Cottage runs its predictor inference through the fused
+        cross-shard kernels).  Default (``None``): retrieval prewarming
+        on iff the executor has more than one worker (it only helps by
+        pipelining); policy prewarming always on (the batched kernels
+        win even single-threaded).  Pass ``False`` to disable both.
+        Retrieval and prediction are pure and memoized, so prewarming
+        never changes a simulation outcome — it only moves where the
+        CPU time is spent.
         """
         if prewarm is None:
-            prewarm = self.executor.workers > 1
-        if prewarm:
+            prewarm_retrieval = self.executor.workers > 1
+            prewarm_policy = True
+        else:
+            prewarm_retrieval = prewarm_policy = prewarm
+        if prewarm_retrieval:
             self.prewarm_trace(trace)
+        if prewarm_policy:
+            # Optional hook: minimal duck-typed policies may omit it.
+            policy_prewarm = getattr(policy, "prewarm", None)
+            if policy_prewarm is not None:
+                policy_prewarm(trace.queries)
         sim = Simulator()
         meters = [EnergyMeter(self.power_model) for _ in self.shards]
         isns = [

@@ -121,7 +121,9 @@ class SelectionPolicy(Protocol):
 
     ``decide`` picks ISNs/budget/frequencies for one query; ``observe`` is
     called with each finished record (adaptive policies such as the
-    epoch-based aggregation baseline learn their budget from it).
+    epoch-based aggregation baseline learn their budget from it);
+    ``prewarm`` gives the policy the whole trace up front so pure,
+    memoized per-query work (e.g. predictor inference) can run batched.
     """
 
     name: str
@@ -130,4 +132,7 @@ class SelectionPolicy(Protocol):
         ...
 
     def observe(self, record: QueryRecord) -> None:
+        ...
+
+    def prewarm(self, queries: list[Query]) -> None:
         ...

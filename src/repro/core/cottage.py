@@ -152,6 +152,15 @@ class CottagePolicy(BasePolicy):
         """
         return 2.0 * self.network.delay_ms() + self.bank.coordination_overhead_ms()
 
+    def prewarm(self, queries: list[Query]) -> None:
+        """Batch-predict the whole trace through the fused kernels.
+
+        Predictions are pure and memoized per distinct term tuple, so
+        every subsequent :meth:`decide` hits the bank's cache; decisions
+        are unchanged.
+        """
+        self.bank.prewarm(queries)
+
     def decide(self, query: Query, view: ClusterView) -> Decision:
         decision = determine_time_budget(
             self.budget_inputs(query, view), boost_margin=self.boost_margin

@@ -104,6 +104,10 @@ class CottageISNPolicy(BasePolicy):
         self._mean_service_ms = [10.0] * bank.n_shards
         self._observations = [0] * bank.n_shards
 
+    def prewarm(self, queries: list[Query]) -> None:
+        """Batch-predict the trace up front (see CottagePolicy.prewarm)."""
+        self.bank.prewarm(queries)
+
     def decide(self, query: Query, view: ClusterView) -> Decision:
         selected = []
         overrides = {}

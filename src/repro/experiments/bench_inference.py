@@ -1,0 +1,103 @@
+"""Inference-plane microbenchmark: per-query loop vs. batched kernels.
+
+Times the bank's reference per-shard/per-query inference loop
+(:meth:`~repro.predictors.bank.PredictorBank.predict_loop` — the
+pre-fusion ``predict``) against the fused batched plane
+(:meth:`~repro.predictors.bank.PredictorBank.batch_predict`) on the
+testbed's distinct Wikipedia-trace queries, verifies the two paths are
+bit-identical, and reports the speedup.  ``benchmarks/run_bench.py``
+drives this and writes ``BENCH_inference.json`` so future changes have a
+perf trajectory to regress against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.experiments.testbed import Testbed
+
+
+@dataclass(frozen=True)
+class InferenceBenchResult:
+    n_shards: int
+    n_queries: int
+    loop_ms: float
+    batched_ms: float
+    loop_us_per_query: float
+    batched_us_per_query: float
+    speedup: float
+    bit_identical: bool
+
+
+def run(testbed: Testbed, repeats: int = 3) -> InferenceBenchResult:
+    """Best-of-``repeats`` timing of both inference paths.
+
+    The batched path is timed steady-state: term-feature rows are warm
+    (they are computed once per term, ever) but the prediction cache is
+    cleared per repeat, so every repeat re-runs feature assembly and the
+    three fused forward passes for the full query set.  The loop path has
+    no caches by construction — it is the seed's per-query code.
+    """
+    bank = testbed.bank
+    queries = list(
+        {q.terms: q for q in testbed.wikipedia_trace.queries}.values()
+    )
+    if not queries:
+        raise ValueError("testbed trace has no queries to benchmark")
+
+    # Warm term-feature rows and fused weight stacks once.
+    bank.prewarm(queries)
+    reference = [bank.predict_loop(q) for q in queries]
+    bit_identical = [bank.predict(q) for q in queries] == reference
+
+    loop_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for query in queries:
+            bank.predict_loop(query)
+        loop_s = min(loop_s, time.perf_counter() - t0)
+
+    batched_s = float("inf")
+    for _ in range(repeats):
+        bank._prediction_cache.clear()
+        t0 = time.perf_counter()
+        bank.batch_predict(queries)
+        batched_s = min(batched_s, time.perf_counter() - t0)
+
+    n = len(queries)
+    return InferenceBenchResult(
+        n_shards=bank.n_shards,
+        n_queries=n,
+        loop_ms=loop_s * 1e3,
+        batched_ms=batched_s * 1e3,
+        loop_us_per_query=loop_s / n * 1e6,
+        batched_us_per_query=batched_s / n * 1e6,
+        speedup=loop_s / batched_s,
+        bit_identical=bit_identical,
+    )
+
+
+def format_report(result: InferenceBenchResult) -> str:
+    lines = [
+        "Inference plane — per-query loop vs. fused batched kernels",
+        f"  shards: {result.n_shards}   distinct queries: {result.n_queries}",
+        (
+            f"  per-query loop : {result.loop_ms:8.1f} ms total "
+            f"({result.loop_us_per_query:7.1f} us/query)"
+        ),
+        (
+            f"  batched kernels: {result.batched_ms:8.1f} ms total "
+            f"({result.batched_us_per_query:7.1f} us/query)"
+        ),
+        f"  speedup        : {result.speedup:.2f}x",
+        f"  bit-identical  : {result.bit_identical}",
+    ]
+    return "\n".join(lines)
+
+
+def write_json(result: InferenceBenchResult, path: str | Path) -> None:
+    """Write the result as the ``BENCH_inference.json`` perf record."""
+    Path(path).write_text(json.dumps(asdict(result), indent=2) + "\n")

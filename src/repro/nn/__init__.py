@@ -6,20 +6,26 @@ a Sequential container with a mini-batch training loop, and standard feature
 scaling.  ``mlp_classifier`` builds the paper's exact 5x128 ReLU topology.
 """
 
-from repro.nn.layers import Dense, Dropout, Layer, ReLU
+from repro.nn.layers import Dense, Dropout, Layer, ReLU, StackedDense
 from repro.nn.losses import (
     Loss,
     MeanSquaredError,
     SparseCategoricalCrossentropy,
     softmax,
 )
-from repro.nn.model import Sequential, TrainingHistory, mlp_classifier
+from repro.nn.model import (
+    Sequential,
+    StackedSequential,
+    TrainingHistory,
+    mlp_classifier,
+)
 from repro.nn.optimizers import SGD, Adam, Optimizer, StepDecay
 from repro.nn.scaler import StandardScaler
 
 __all__ = [
     "Layer",
     "Dense",
+    "StackedDense",
     "ReLU",
     "Dropout",
     "Loss",
@@ -27,6 +33,7 @@ __all__ = [
     "MeanSquaredError",
     "softmax",
     "Sequential",
+    "StackedSequential",
     "TrainingHistory",
     "mlp_classifier",
     "Optimizer",

@@ -81,6 +81,56 @@ class Dense(Layer):
         self.b[...] = state["b"]
 
 
+class StackedDense:
+    """S same-shape :class:`Dense` layers fused into one batched matmul.
+
+    Weights are stacked into ``W[S, in, out]`` / ``b[S, 1, out]`` so one
+    ``np.matmul`` evaluates every model in the stack.  ``np.matmul`` on a
+    3-D operand applies the identical 2-D product to each stack slice, so
+    ``forward(x)[s]`` is bit-identical to ``x[s] @ W_s + b_s`` — the
+    per-model loop this layer replaces.  Inference-only: no gradients.
+    """
+
+    def __init__(self, W: np.ndarray, b: np.ndarray) -> None:
+        if W.ndim != 3 or b.shape != (W.shape[0], W.shape[2]):
+            raise ValueError("expected W[S, in, out] and b[S, out]")
+        self.W = W
+        self.b = b[:, None, :]
+
+    @classmethod
+    def from_layers(cls, layers: "list[Dense]") -> "StackedDense":
+        """Stack S Dense layers; all must share (in, out) dimensions."""
+        if not layers:
+            raise ValueError("need at least one Dense layer to stack")
+        shape = layers[0].W.shape
+        if any(layer.W.shape != shape for layer in layers):
+            raise ValueError("stacked Dense layers must share weight shapes")
+        return cls(
+            np.stack([layer.W for layer in layers]),
+            np.stack([layer.b for layer in layers]),
+        )
+
+    @property
+    def n_stacked(self) -> int:
+        return self.W.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """One fused matmul over the whole stack.
+
+        ``x[S, B, in] -> y[S, B, out]``, or with a query axis
+        ``x[S, NQ, B, in] -> y[S, NQ, B, out]``.  The shard-major layout
+        is deliberate: consecutive gemm slices reuse the same weight
+        block, so it stays in cache across the query batch.
+        """
+        if x.ndim == 4:
+            y = np.matmul(x, self.W[:, None])
+            y += self.b[:, None]
+        else:
+            y = np.matmul(x, self.W)
+            y += self.b
+        return y
+
+
 class ReLU(Layer):
     """Rectified linear activation."""
 

@@ -13,10 +13,16 @@ import numpy as np
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
-    """Row-wise stable softmax."""
-    shifted = logits - logits.max(axis=1, keepdims=True)
+    """Stable softmax over the last axis.
+
+    Accepts both 2-D ``(batch, classes)`` logits and the stacked 3-D
+    ``(stack, batch, classes)`` tensors the fused cross-shard forward pass
+    produces; for 2-D input the result is bit-identical to the historical
+    axis-1 formulation.
+    """
+    shifted = logits - logits.max(axis=-1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return exp / exp.sum(axis=-1, keepdims=True)
 
 
 class Loss(ABC):

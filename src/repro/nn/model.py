@@ -7,7 +7,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.nn.layers import Dense, Layer, ReLU
+from repro.nn.layers import Dense, Dropout, Layer, ReLU, StackedDense
 from repro.nn.losses import Loss, SparseCategoricalCrossentropy, softmax
 from repro.nn.optimizers import Adam, Optimizer
 
@@ -149,6 +149,104 @@ class Sequential:
     def load(self, path: str | Path) -> None:
         with np.load(path) as data:
             self.load_state({key: data[key] for key in data.files})
+
+
+class StackedSequential:
+    """S same-architecture :class:`Sequential` models fused for inference.
+
+    The per-shard predictors all share one topology (the paper's 5x128
+    ReLU MLP), so their Dense weights stack into ``[S, in, out]`` tensors
+    and one batched matmul per layer evaluates every model at once —
+    replacing S full forward passes with a handful of numpy calls.
+
+    **Equivalence guarantee.**  ``forward_batched(x)[s]`` is bit-identical
+    to ``models[s].forward(x[s])`` for any row batch: ``np.matmul`` applies
+    the same 2-D product per stack slice, and ReLU/softmax are elementwise.
+    ``tests/test_batched_inference.py`` pins this down with Hypothesis.
+
+    Dropout layers are skipped (identity at inference time, matching
+    ``Sequential.forward(training=False)``).  The stack snapshots weights
+    at construction time — rebuild after retraining the source models.
+    """
+
+    def __init__(self, stacked: list[StackedDense | None]) -> None:
+        """``stacked``: one entry per source layer — a :class:`StackedDense`
+        for Dense layers, ``None`` for ReLU activations."""
+        if not stacked:
+            raise ValueError("stacked model needs at least one layer")
+        self.ops = stacked
+        dense = [op for op in stacked if op is not None]
+        if not dense:
+            raise ValueError("stacked model needs at least one Dense layer")
+        self.n_stacked = dense[0].n_stacked
+
+    @classmethod
+    def from_models(cls, models: list["Sequential"]) -> "StackedSequential":
+        """Fuse same-architecture models; validates matching topologies."""
+        if not models:
+            raise ValueError("need at least one model to stack")
+        signature = [
+            (type(layer), getattr(layer, "W", np.empty(0)).shape)
+            for layer in models[0].layers
+        ]
+        for model in models[1:]:
+            other = [
+                (type(layer), getattr(layer, "W", np.empty(0)).shape)
+                for layer in model.layers
+            ]
+            if other != signature:
+                raise ValueError("stacked models must share one architecture")
+        ops: list[StackedDense | None] = []
+        for i, layer in enumerate(models[0].layers):
+            if isinstance(layer, Dense):
+                ops.append(
+                    StackedDense.from_layers([m.layers[i] for m in models])
+                )
+            elif isinstance(layer, ReLU):
+                ops.append(None)
+            elif isinstance(layer, Dropout):
+                continue  # identity at inference time
+            else:
+                raise ValueError(
+                    f"cannot stack layer type {type(layer).__name__}"
+                )
+        return cls(ops)
+
+    def forward_batched(self, x: np.ndarray) -> np.ndarray:
+        """Fused forward: ``x[S, B, features] -> logits[S, B, classes]``.
+
+        An extra query axis after the stack axis evaluates a whole query
+        batch with one matmul per layer: ``x[S, NQ, B, features] ->
+        logits[S, NQ, B, classes]``.  Because ``np.matmul`` runs the
+        identical 2-D product per stack slice, every ``[s, q]`` slice is
+        bit-identical to evaluating it alone.
+        """
+        # A C-contiguous input keeps every intermediate C-contiguous
+        # (ufuncs allocate output in K-order, so a transposed-view input
+        # would propagate its slow layout through all six layers); the
+        # copy is exact, so bit-identity is unaffected.
+        out = np.ascontiguousarray(x, dtype=np.float64)
+        if out.ndim not in (3, 4) or out.shape[0] != self.n_stacked:
+            raise ValueError(
+                f"expected x[{self.n_stacked}, (queries,) batch, features], "
+                f"got {out.shape}"
+            )
+        for i, op in enumerate(self.ops):
+            if op is None:
+                # In-place ReLU: the buffer is always this pass's own
+                # intermediate (op 0 is Dense), so nothing aliases it.
+                out = np.maximum(out, 0.0, out=out) if i else np.maximum(out, 0.0)
+            else:
+                out = op.forward(out)
+        return out
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Per-model softmax probabilities, shape ``[S, B, classes]``."""
+        return softmax(self.forward_batched(x))
+
+    def predict_classes(self, x: np.ndarray) -> np.ndarray:
+        """Per-model argmax classes over logits, shape ``[S, B]``."""
+        return np.argmax(self.forward_batched(x), axis=-1)
 
 
 def mlp_classifier(

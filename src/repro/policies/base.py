@@ -25,5 +25,15 @@ class BasePolicy(ABC):
     def observe(self, record: QueryRecord) -> None:
         """Feedback after a query completes.  Default: ignore."""
 
+    def prewarm(self, queries: list[Query]) -> None:
+        """Precompute anything the policy will need for ``queries``.
+
+        Called by :meth:`SearchCluster.run_trace` before the event loop
+        starts, with the whole trace.  Policies whose per-query work is
+        pure and memoized (Cottage's predictor inference) batch it here;
+        the decisions themselves are unchanged — only where the wall-clock
+        CPU time is spent moves.  Default: do nothing.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -22,10 +22,15 @@ from repro.predictors.datasets import (
 from repro.predictors.features import (
     LATENCY_FEATURE_NAMES,
     QUALITY_FEATURE_NAMES,
+    TermFeatureCache,
     feature_table,
+    latency_feature_matrix,
     latency_features,
+    quality_feature_matrix,
     quality_features,
+    trace_feature_tensors,
 )
+from repro.predictors.fused import FusedLatencyModels, FusedQualityModels
 from repro.predictors.gamma_quality import TailyEstimate, TailyQualityEstimator
 from repro.predictors.latency import LatencyBinning, LatencyPredictor
 from repro.predictors.quality import QualityPredictor
@@ -35,6 +40,12 @@ __all__ = [
     "LATENCY_FEATURE_NAMES",
     "quality_features",
     "latency_features",
+    "quality_feature_matrix",
+    "latency_feature_matrix",
+    "trace_feature_tensors",
+    "TermFeatureCache",
+    "FusedQualityModels",
+    "FusedLatencyModels",
     "feature_table",
     "QualityPredictor",
     "LatencyPredictor",

@@ -20,7 +20,13 @@ from repro.cluster.engine import SearchCluster
 from repro.index.term_stats import TermStatsIndex
 from repro.metrics.quality import GroundTruth
 from repro.predictors.datasets import build_latency_dataset, build_quality_dataset
-from repro.predictors.features import latency_features, quality_features
+from repro.predictors.features import (
+    TermFeatureCache,
+    latency_features,
+    quality_features,
+    trace_feature_tensors,
+)
+from repro.predictors.fused import FusedLatencyModels, FusedQualityModels
 from repro.predictors.latency import LatencyBinning, LatencyPredictor
 from repro.predictors.quality import QualityPredictor
 from repro.retrieval.query import Query
@@ -96,7 +102,16 @@ class PredictorBank:
             for sid in range(cluster.n_shards)
         ]
         self.trained = False
-        self._prediction_cache: dict[tuple[str, ...], list[ISNPrediction]] = {}
+        # Memoized per-query reports.  Values are tuples on purpose: the
+        # same object is handed to every caller, and an immutable tuple
+        # means one caller's mutation can't corrupt later replays.
+        self._prediction_cache: dict[tuple[str, ...], tuple[ISNPrediction, ...]] = {}
+        # Per-term feature rows stacked across shards; term statistics are
+        # immutable, so this cache survives retraining.
+        self._feature_cache = TermFeatureCache(self.stats_indexes)
+        self._fused: (
+            tuple[FusedQualityModels, FusedQualityModels, FusedLatencyModels] | None
+        ) = None
 
     @property
     def n_shards(self) -> int:
@@ -161,12 +176,33 @@ class PredictorBank:
             )
         self.trained = True
         self._prediction_cache.clear()
+        self._fused = None  # weights changed; stacks rebuild lazily
         return report
 
     # ------------------------------------------------------------- inference
-    def predict(self, query: Query) -> list[ISNPrediction]:
+    def fused_stacks(
+        self,
+    ) -> tuple[FusedQualityModels, FusedQualityModels, FusedLatencyModels]:
+        """The three cross-shard model stacks (built lazily, cached).
+
+        Quality-K, Quality-K/2 and latency models each fuse into one
+        :class:`~repro.nn.StackedSequential`, so a query's 3 x n_shards
+        forward passes collapse into three batched ones.
+        """
+        if not self.trained:
+            raise RuntimeError("predictor bank has not been trained")
+        if self._fused is None:
+            self._fused = (
+                FusedQualityModels(self.quality_k_models),
+                FusedQualityModels(self.quality_half_models),
+                FusedLatencyModels(self.latency_models),
+            )
+        return self._fused
+
+    def predict(self, query: Query) -> tuple[ISNPrediction, ...]:
         """All ISNs' <Q^K, Q^{K/2}, L_default> reports for one query.
 
+        Runs on the fused batched kernel (see :meth:`batch_predict`).
         Predictions are memoized per distinct query: the underlying index
         is immutable, so the reports never change across a trace replay.
         """
@@ -175,6 +211,76 @@ class PredictorBank:
         cached = self._prediction_cache.get(query.terms)
         if cached is not None:
             return cached
+        return self.batch_predict([query])[0]
+
+    def batch_predict(self, queries: list[Query]) -> list[tuple[ISNPrediction, ...]]:
+        """Per-ISN reports for many queries through the batched plane.
+
+        Feature matrices for every uncached distinct query are assembled
+        in one pass over the stacked term-stat arrays
+        (:func:`~repro.predictors.features.trace_feature_tensors`), then
+        each query runs three fused cross-shard forward passes — one per
+        model kind — instead of 3 x n_shards per-model calls.
+
+        Outputs are bit-identical to the per-shard/per-query reference
+        loop (:meth:`predict_loop`): the fused kernel evaluates one query
+        row per pass, so every matmul has the exact shape the per-shard
+        path used.  Results land in the same memo cache ``predict`` reads.
+        """
+        if not self.trained:
+            raise RuntimeError("predictor bank has not been trained")
+        missing = list(
+            dict.fromkeys(
+                q.terms for q in queries if q.terms not in self._prediction_cache
+            )
+        )
+        if missing:
+            quality_t, latency_t = trace_feature_tensors(missing, self._feature_cache)
+            fused_k, fused_half, fused_latency = self.fused_stacks()
+            counts_k, p_zero_k = fused_k.predict_with_zero_prob_many(quality_t)
+            counts_half, p_zero_half = fused_half.predict_with_zero_prob_many(
+                quality_t
+            )
+            service_ms = fused_latency.predict_service_ms_many(latency_t)
+            shard_ids = range(self.n_shards)
+            # tolist() converts to native int/float in one C pass, and the
+            # positional map() builds each row of ISNPredictions without a
+            # Python-level loop — both much cheaper than per-element numpy
+            # scalar indexing here.
+            for terms, row_k, row_half, row_ms, row_pk, row_ph in zip(
+                missing,
+                counts_k.tolist(),
+                counts_half.tolist(),
+                service_ms.tolist(),
+                p_zero_k.tolist(),
+                p_zero_half.tolist(),
+            ):
+                self._prediction_cache[terms] = tuple(
+                    map(ISNPrediction, shard_ids, row_k, row_half, row_ms, row_pk, row_ph)
+                )
+        return [self._prediction_cache[q.terms] for q in queries]
+
+    def prewarm(self, queries: list[Query]) -> int:
+        """Fill the prediction cache for a trace through the batched plane.
+
+        Returns the number of distinct queries newly predicted.  Purely a
+        wall-clock optimization: predictions are memoized pure functions,
+        so prewarming never changes what any later ``predict`` returns.
+        """
+        before = len(self._prediction_cache)
+        if queries:
+            self.batch_predict(list(queries))
+        return len(self._prediction_cache) - before
+
+    def predict_loop(self, query: Query) -> tuple[ISNPrediction, ...]:
+        """Reference per-shard/per-query inference path (pre-fusion).
+
+        The original 3 x n_shards single-row loop, kept as the ground
+        truth the equivalence tests and the inference microbenchmark
+        compare the fused plane against.  Bypasses the prediction cache.
+        """
+        if not self.trained:
+            raise RuntimeError("predictor bank has not been trained")
         predictions = []
         for sid in range(self.n_shards):
             stats = self.stats_indexes[sid]
@@ -194,8 +300,7 @@ class PredictorBank:
                     p_zero_half=p_zero_half,
                 )
             )
-        self._prediction_cache[query.terms] = predictions
-        return predictions
+        return tuple(predictions)
 
     # ------------------------------------------------------------- persistence
     def save(self, path: str | Path) -> None:

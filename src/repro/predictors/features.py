@@ -87,6 +87,114 @@ def _latency_row(stats: TermStats, query_length: int) -> np.ndarray:
     )
 
 
+# Column of the query-length pass-through feature in the Table-II vector.
+_QUERY_LENGTH_COL = LATENCY_FEATURE_NAMES.index("query_length")
+
+
+class TermFeatureCache:
+    """Per-cluster cache of per-term feature rows stacked across shards.
+
+    The per-shard extraction path rebuilds a term's Table-I/II rows from
+    the :class:`TermStats` dataclass on every call — 2 x n_shards small
+    ``np.array`` constructions per query term.  This cache does that work
+    once per term, storing the rows stacked shard-major (``[S, F]``), so a
+    query's full ``n_shards x n_features`` matrices assemble with one
+    stack + segmented max over precomputed arrays.
+
+    Latency rows are cached with the query-length column zeroed — the
+    value is a per-query constant, written into the aggregated matrix
+    afterwards.  Shard term statistics are immutable, so entries never
+    invalidate.
+    """
+
+    def __init__(self, stats_indexes: list[TermStatsIndex]) -> None:
+        if not stats_indexes:
+            raise ValueError("need at least one shard stats index")
+        self.stats_indexes = stats_indexes
+        self._rows: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.stats_indexes)
+
+    def rows(self, term: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(quality_rows[S, 10], latency_rows[S, 15])`` for one term."""
+        cached = self._rows.get(term)
+        if cached is not None:
+            return cached
+        per_shard = [stats.get(term) for stats in self.stats_indexes]
+        quality = np.stack([_quality_row(stats) for stats in per_shard])
+        latency = np.stack([_latency_row(stats, 0) for stats in per_shard])
+        entry = (quality, latency)
+        self._rows[term] = entry
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+def quality_feature_matrix(
+    terms: tuple[str, ...] | list[str], cache: TermFeatureCache
+) -> np.ndarray:
+    """Table-I features for one query on *every* shard: ``[S, 10]``.
+
+    Row ``s`` is bit-identical to ``quality_features(terms,
+    stats_indexes[s])`` — the MAX aggregation runs over the same values,
+    just stacked shard-major.
+    """
+    if not terms:
+        raise ValueError("query has no terms")
+    rows = np.stack([cache.rows(term)[0] for term in terms])  # [T, S, 10]
+    return rows.max(axis=0)
+
+
+def latency_feature_matrix(
+    terms: tuple[str, ...] | list[str], cache: TermFeatureCache
+) -> np.ndarray:
+    """Table-II features for one query on every shard: ``[S, 15]``."""
+    if not terms:
+        raise ValueError("query has no terms")
+    rows = np.stack([cache.rows(term)[1] for term in terms])  # [T, S, 15]
+    matrix = rows.max(axis=0)
+    matrix[:, _QUERY_LENGTH_COL] = float(len(terms))
+    return matrix
+
+
+def trace_feature_tensors(
+    term_tuples: list[tuple[str, ...]], cache: TermFeatureCache
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feature tensors for a whole trace: ``([NQ, S, 10], [NQ, S, 15])``.
+
+    One pass over the stacked term-stat arrays: every query's term rows
+    are concatenated once and MAX-aggregated per query with a single
+    segmented reduce (``np.maximum.reduceat``) — exact, so slice ``i`` is
+    bit-identical to the per-query matrix functions.  This is the
+    prewarming path: the whole trace's predictor inputs assemble without
+    a per-query python loop over shards.
+    """
+    if not term_tuples:
+        n = cache.n_shards
+        return (
+            np.zeros((0, n, len(QUALITY_FEATURE_NAMES))),
+            np.zeros((0, n, len(LATENCY_FEATURE_NAMES))),
+        )
+    offsets = []
+    cursor = 0
+    for terms in term_tuples:
+        if not terms:
+            raise ValueError("query has no terms")
+        offsets.append(cursor)
+        cursor += len(terms)
+    flat = [cache.rows(term) for terms in term_tuples for term in terms]
+    quality_rows = np.stack([rows[0] for rows in flat])  # [T_total, S, 10]
+    latency_rows = np.stack([rows[1] for rows in flat])  # [T_total, S, 15]
+    quality = np.maximum.reduceat(quality_rows, offsets, axis=0)
+    latency = np.maximum.reduceat(latency_rows, offsets, axis=0)
+    lengths = np.array([float(len(terms)) for terms in term_tuples])
+    latency[:, :, _QUERY_LENGTH_COL] = lengths[:, None]
+    return quality, latency
+
+
 def quality_features(terms: tuple[str, ...] | list[str], stats: TermStatsIndex) -> np.ndarray:
     """Table-I feature vector for one query on one shard (MAX-aggregated)."""
     if not terms:

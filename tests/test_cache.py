@@ -14,37 +14,48 @@ def result(doc_id=1):
 class TestResultCache:
     def test_miss_then_hit(self):
         cache = ResultCache(capacity=4)
-        assert cache.get(("a",), 0.0) is None
-        cache.put(("a",), result(), 0.0)
-        assert cache.get(("a",), 1.0).hits == [(1, 1.0)]
+        assert cache.get(("a",), 10, 0.0) is None
+        cache.put(("a",), 10, result(), 0.0)
+        assert cache.get(("a",), 10, 1.0).hits == [(1, 1.0)]
         assert cache.stats.hits == 1
         assert cache.stats.misses == 1
         assert cache.stats.hit_rate == 0.5
 
+    def test_k_is_part_of_the_key(self):
+        # Regression: a result merged at one depth must not answer a
+        # lookup at another (a k=2 response would truncate a k=10 query).
+        cache = ResultCache(capacity=4)
+        cache.put(("a",), 2, result(1), 0.0)
+        assert cache.get(("a",), 10, 1.0) is None
+        cache.put(("a",), 10, result(9), 2.0)
+        assert cache.get(("a",), 2, 3.0).hits == [(1, 1.0)]
+        assert cache.get(("a",), 10, 3.0).hits == [(9, 1.0)]
+        assert len(cache) == 2
+
     def test_lru_eviction(self):
         cache = ResultCache(capacity=2)
-        cache.put(("a",), result(1), 0.0)
-        cache.put(("b",), result(2), 0.0)
-        cache.get(("a",), 1.0)  # refresh a
-        cache.put(("c",), result(3), 2.0)  # evicts b
-        assert ("a",) in cache
-        assert ("b",) not in cache
-        assert ("c",) in cache
+        cache.put(("a",), 10, result(1), 0.0)
+        cache.put(("b",), 10, result(2), 0.0)
+        cache.get(("a",), 10, 1.0)  # refresh a
+        cache.put(("c",), 10, result(3), 2.0)  # evicts b
+        assert (("a",), 10) in cache
+        assert (("b",), 10) not in cache
+        assert (("c",), 10) in cache
         assert cache.stats.evictions == 1
 
     def test_ttl_expiry(self):
         cache = ResultCache(capacity=4, ttl_ms=10.0)
-        cache.put(("a",), result(), 0.0)
-        assert cache.get(("a",), 5.0) is not None
-        assert cache.get(("a",), 20.0) is None  # expired
-        assert ("a",) not in cache
+        cache.put(("a",), 10, result(), 0.0)
+        assert cache.get(("a",), 10, 5.0) is not None
+        assert cache.get(("a",), 10, 20.0) is None  # expired
+        assert (("a",), 10) not in cache
 
     def test_put_updates_existing(self):
         cache = ResultCache(capacity=2)
-        cache.put(("a",), result(1), 0.0)
-        cache.put(("a",), result(9), 1.0)
+        cache.put(("a",), 10, result(1), 0.0)
+        cache.put(("a",), 10, result(9), 1.0)
         assert len(cache) == 1
-        assert cache.get(("a",), 2.0).hits == [(9, 1.0)]
+        assert cache.get(("a",), 10, 2.0).hits == [(9, 1.0)]
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -34,7 +34,11 @@ class ReferenceLRU:
 @given(
     capacity=st.integers(1, 8),
     ops=st.lists(
-        st.tuples(st.sampled_from(["get", "put"]), st.integers(0, 12)),
+        st.tuples(
+            st.sampled_from(["get", "put"]),
+            st.integers(0, 12),
+            st.sampled_from([2, 10]),
+        ),
         min_size=1,
         max_size=80,
     ),
@@ -43,21 +47,25 @@ def test_cache_matches_reference_lru(capacity, ops):
     cache = ResultCache(capacity=capacity)
     reference = ReferenceLRU(capacity)
     clock = 0.0
-    for op, key_id in ops:
+    for op, key_id, k in ops:
         clock += 1.0
-        key = (f"t{key_id}",)
+        terms = (f"t{key_id}",)
         if op == "get":
-            got = cache.get(key, clock)
-            expected = reference.get(key)
+            got = cache.get(terms, k, clock)
+            expected = reference.get((terms, k))
             if expected is None:
                 assert got is None
             else:
                 assert got is not None and got.hits == expected.hits
         else:
             value = SearchResult(hits=[(key_id, float(key_id))])
-            cache.put(key, value, clock)
-            reference.put(key, value)
+            cache.put(terms, k, value, clock)
+            reference.put((terms, k), value)
     assert len(cache) == len(reference.data)
     assert set(reference.data) == {
-        key for key in ((f"t{i}",) for i in range(13)) if key in cache
+        key
+        for key in (
+            ((f"t{i}",), k) for i in range(13) for k in (2, 10)
+        )
+        if key in cache
     }
