@@ -7,6 +7,7 @@ Four subcommands cover the common workflows::
     repro compare --scale unit --trace wikipedia       # policy comparison table
     repro figure fig10 --scale small                   # one paper figure/table
     repro bench --scale small --out BENCH_inference.json  # inference microbench
+    repro trace --policy cottage --export perfetto     # telemetry-traced run
 
 ``python -m repro ...`` works identically.
 """
@@ -168,6 +169,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        Telemetry,
+        flamegraph_summary,
+        write_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    testbed = Testbed.build(_scale(args.scale), workers=args.workers)
+    trace = {
+        "wikipedia": testbed.wikipedia_trace,
+        "lucene": testbed.lucene_trace,
+    }[args.trace]
+    telemetry = Telemetry()
+    result = testbed.cluster.run_trace(
+        trace, testbed.make_policy(args.policy), telemetry=telemetry
+    )
+    print(
+        f"replayed {len(result.records)} queries under {result.policy_name!r}: "
+        f"{result.events_processed} events, {result.elapsed_ms:.1f} sim ms, "
+        f"{len(telemetry.tracer.spans)} spans"
+    )
+    exports = set(args.export)
+    stem = args.out or f"TRACE_{args.policy}_{trace.name}"
+    if "perfetto" in exports:
+        path = f"{stem}.json"
+        count = write_chrome_trace(telemetry, path)
+        print(f"wrote {count} trace events to {path} (open in https://ui.perfetto.dev)")
+    if "jsonl" in exports:
+        path = f"{stem}.jsonl"
+        count = write_spans_jsonl(telemetry, path)
+        print(f"wrote {count} spans to {path}")
+    print()
+    print(flamegraph_summary(telemetry, max_rows=args.max_rows))
+    if args.metrics:
+        print()
+        for name, snap in telemetry.metrics.snapshot().items():
+            fields = ", ".join(
+                f"{key}={value}" for key, value in snap.items() if key != "type"
+            )
+            print(f"{name} [{snap['type']}]: {fields}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +268,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--workers", type=int, default=1, help=workers_help)
     bench.set_defaults(fn=_cmd_bench)
+
+    trace_cmd = sub.add_parser(
+        "trace", help="run one policy with telemetry and export the trace"
+    )
+    trace_cmd.add_argument("--policy", default="cottage",
+                           help=f"one of: {', '.join(ALL_POLICIES)}")
+    trace_cmd.add_argument("--scale", default="unit")
+    trace_cmd.add_argument("--trace", default="wikipedia",
+                           choices=("wikipedia", "lucene"))
+    trace_cmd.add_argument(
+        "--export", nargs="*", default=("perfetto",),
+        choices=("perfetto", "jsonl"),
+        help="trace formats to write (default: perfetto)",
+    )
+    trace_cmd.add_argument(
+        "--out", default="",
+        help="output file stem (default TRACE_<policy>_<trace>)",
+    )
+    trace_cmd.add_argument("--max-rows", type=int, default=60,
+                           help="flamegraph summary row cap")
+    trace_cmd.add_argument("--metrics", action="store_true",
+                           help="also print the metrics registry snapshot")
+    trace_cmd.add_argument("--workers", type=int, default=1, help=workers_help)
+    trace_cmd.set_defaults(fn=_cmd_trace)
 
     return parser
 

@@ -24,6 +24,9 @@ from repro.cluster.types import (
 )
 from repro.retrieval.query import Query
 from repro.retrieval.result import SearchResult, merge_results
+from repro.telemetry import NO_TELEMETRY, Telemetry
+
+_TRACK = "aggregator"
 
 
 @dataclass
@@ -38,6 +41,7 @@ class _PendingQuery:
     responses: dict[int, SearchResult] = field(default_factory=dict)
     outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
     finalized: bool = False
+    span: object | None = None  # telemetry lifecycle span
 
 
 class Aggregator:
@@ -52,6 +56,7 @@ class Aggregator:
         k: int,
         cache: ResultCache | None = None,
         response_timeout_ms: float | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """``response_timeout_ms`` is the safety net for unbudgeted
         policies: with fail-silent ISNs in play, exhaustive-style "wait for
@@ -70,6 +75,18 @@ class Aggregator:
         self.records: list[QueryRecord] = []
         self._default_freq = isns[0].freq_scale.default_ghz
         self._max_freq = isns[0].freq_scale.max_ghz
+        # Telemetry: the tracer reference is None when disabled, so the
+        # per-query hot path pays one attribute test and nothing else.
+        telemetry = telemetry or NO_TELEMETRY
+        self._tracer = telemetry.tracer if telemetry.enabled else None
+        metrics = telemetry.metrics
+        self._m_cache_hits = metrics.counter("aggregator.result_cache.hits")
+        self._m_cache_misses = metrics.counter("aggregator.result_cache.misses")
+        self._m_stragglers = metrics.counter("aggregator.stragglers_dropped")
+        self._m_latency = metrics.histogram("aggregator.latency_ms")
+        self._m_budget = metrics.histogram("aggregator.time_budget_ms")
+        self._m_slack = metrics.histogram("aggregator.budget_slack_ms")
+        self._m_selected = metrics.histogram("aggregator.selected_isns", lo=0.5, hi=1e4)
 
     # ---------------------------------------------------------------- intake
     def view(self) -> ClusterView:
@@ -86,9 +103,20 @@ class Aggregator:
     def on_query(self, query: Query) -> None:
         """Entry point, fired by the engine at the query's arrival time."""
         arrival = self.sim.now
+        tracer = self._tracer
+        qspan = None
+        if tracer is not None:
+            # Lifecycles overlap (queries are in flight concurrently), so
+            # they are *async* spans — one Perfetto nestable track event
+            # per query, arrival to response.
+            qspan = tracer.async_span("query", track=_TRACK, qid=query.query_id)
         if self.cache is not None:
             cached = self.cache.get(query.terms, self.k, arrival)
             if cached is not None:
+                if qspan is not None:
+                    self._m_cache_hits.add()
+                    qspan.attrs["from_cache"] = True
+                    qspan.finish()
                 record = QueryRecord(
                     query=query,
                     arrival_ms=arrival,
@@ -99,9 +127,18 @@ class Aggregator:
                 )
                 self._commit(record)
                 return
-        decision = self.policy.decide(query, self.view())
+            if qspan is not None:
+                self._m_cache_misses.add()
+        if tracer is None:
+            decision = self.policy.decide(query, self.view())
+        else:
+            # Policy-internal spans (predict, budget-assign) nest inside.
+            with tracer.span("aggregator.decide", track=_TRACK, qid=query.query_id):
+                decision = self.policy.decide(query, self.view())
         if not decision.shard_ids:
             # A policy that selects nothing answers immediately and empty.
+            if qspan is not None:
+                qspan.finish()
             record = QueryRecord(
                 query=query,
                 arrival_ms=arrival,
@@ -125,7 +162,12 @@ class Aggregator:
             decision=decision,
             dispatch_ms=dispatch_ms,
             expected=set(decision.shard_ids),
+            span=qspan,
         )
+        if qspan is not None:
+            self._m_selected.observe(len(decision.shard_ids))
+            if decision.time_budget_ms is not None:
+                self._m_budget.observe(decision.time_budget_ms)
 
         for sid in decision.shard_ids:
             isn = self.isns[sid]
@@ -189,7 +231,14 @@ class Aggregator:
         self, pending: _PendingQuery, shard_id: int, result: SearchResult
     ) -> None:
         if pending.finalized:
-            return  # straggler: dropped at the aggregator (paper step 7)
+            # Straggler: dropped at the aggregator (paper step 7).
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "aggregator.straggler_dropped", track=_TRACK,
+                    qid=pending.query.query_id, shard=shard_id,
+                )
+                self._m_stragglers.add()
+            return
         pending.responses[shard_id] = result
         pending.expected.discard(shard_id)
         self._maybe_finalize(pending)
@@ -205,9 +254,32 @@ class Aggregator:
         for sid in pending.responses:
             if sid in pending.outcomes:
                 pending.outcomes[sid].counted = True
-        merged = merge_results(list(pending.responses.values()), self.k)
+        tracer = self._tracer
+        if tracer is None:
+            merged = merge_results(list(pending.responses.values()), self.k)
+        else:
+            with tracer.span(
+                "aggregator.merge", track=_TRACK,
+                qid=pending.query.query_id, responses=len(pending.responses),
+            ):
+                merged = merge_results(list(pending.responses.values()), self.k)
         if self.cache is not None:
             self.cache.put(pending.query.terms, self.k, merged, self.sim.now)
+        if pending.span is not None:
+            latency = self.sim.now - pending.arrival_ms
+            self._m_latency.observe(latency)
+            budget = pending.decision.time_budget_ms
+            if budget is not None:
+                # How much of the broadcast budget (plus the return trip
+                # the finalize event waits for) was left when the query
+                # actually answered — 0 when the deadline itself fired.
+                return_deadline = (
+                    pending.dispatch_ms + budget + self.network.delay_ms() + 1e-6
+                )
+                self._m_slack.observe(max(return_deadline - self.sim.now, 0.0))
+            pending.span.attrs["latency_ms"] = latency
+            pending.span.attrs["counted"] = len(pending.responses)
+            pending.span.finish()
         record = QueryRecord(
             query=pending.query,
             arrival_ms=pending.arrival_ms,

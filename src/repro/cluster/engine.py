@@ -25,17 +25,27 @@ from repro.index.shard import IndexShard
 from repro.retrieval.executor import SerialExecutor, ShardExecutor, prewarm_searchers
 from repro.retrieval.query import QueryTrace
 from repro.retrieval.searcher import DistributedSearcher, SearcherCacheStats
+from repro.telemetry import NO_TELEMETRY, Telemetry
 
 
 @dataclass
 class RunResult:
-    """Everything a simulated trace run produced."""
+    """Everything a simulated trace run produced.
+
+    ``searcher_hits``/``searcher_computations`` are *per-run deltas* of
+    the shard searchers' memo counters (the memo persists across runs on
+    the same cluster, so absolute values would conflate runs).
+    """
 
     policy_name: str
     records: list[QueryRecord]
     power: PowerReport
     elapsed_ms: float
     cache_stats: CacheStats | None = None
+    events_processed: int = 0
+    clamped_schedules: int = 0
+    searcher_hits: int = 0
+    searcher_computations: int = 0
 
     def latencies_ms(self) -> list[float]:
         return [record.latency_ms for record in self.records]
@@ -92,6 +102,7 @@ class SearchCluster:
         response_timeout_ms: float | None = None,
         sleep: SleepPolicy | None = None,
         prewarm: bool | None = None,
+        telemetry: Telemetry | None = None,
     ) -> RunResult:
         """Replay ``trace`` under ``policy`` and report latency + power.
 
@@ -116,55 +127,120 @@ class SearchCluster:
         Retrieval and prediction are pure and memoized, so prewarming
         never changes a simulation outcome — it only moves where the
         CPU time is spent.
+
+        ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry`
+        session for this run: the simulator clock is bound to the tracer
+        (spans record sim-time *and* wall-time), every layer's spans and
+        metrics flow into it, and the policy/executor are rebound to the
+        disabled session afterwards.  Telemetry never changes a
+        simulation outcome — runs are bit-identical with it on or off
+        (pinned by ``tests/test_telemetry_integration.py``).
         """
         if prewarm is None:
             prewarm_retrieval = self.executor.workers > 1
             prewarm_policy = True
         else:
             prewarm_retrieval = prewarm_policy = prewarm
-        if prewarm_retrieval:
-            self.prewarm_trace(trace)
-        if prewarm_policy:
-            # Optional hook: minimal duck-typed policies may omit it.
-            policy_prewarm = getattr(policy, "prewarm", None)
-            if policy_prewarm is not None:
-                policy_prewarm(trace.queries)
-        sim = Simulator()
-        meters = [EnergyMeter(self.power_model) for _ in self.shards]
-        isns = [
-            ISNServer(
-                shard_id=i,
-                searcher=self.searcher.searchers[i],
-                cost_model=self.cost_model,
-                freq_scale=self.freq_scale,
-                meter=meters[i],
-                governor=governor,
-                faults=faults,
-                sleep=sleep,
+        telemetry = telemetry or NO_TELEMETRY
+        tracer = telemetry.tracer if telemetry.enabled else None
+        sim = Simulator(telemetry)
+        if tracer is not None:
+            telemetry.bind_clock(lambda: sim.now)
+        policy_bind = getattr(policy, "bind_telemetry", None)
+        if policy_bind is not None:
+            policy_bind(telemetry)
+        self.executor.bind_telemetry(telemetry)
+        cache_before = self._searcher_totals()
+        try:
+            if prewarm_retrieval:
+                if tracer is None:
+                    self.prewarm_trace(trace)
+                else:
+                    with tracer.span(
+                        "cluster.prewarm_retrieval", track="cluster",
+                        n_queries=len(trace.queries),
+                    ):
+                        self.prewarm_trace(trace)
+            if prewarm_policy:
+                # Optional hook: minimal duck-typed policies may omit it.
+                policy_prewarm = getattr(policy, "prewarm", None)
+                if policy_prewarm is not None:
+                    if tracer is None:
+                        policy_prewarm(trace.queries)
+                    else:
+                        with tracer.span(
+                            "cluster.prewarm_policy", track="cluster",
+                            n_queries=len(trace.queries),
+                        ):
+                            policy_prewarm(trace.queries)
+            meters = [EnergyMeter(self.power_model) for _ in self.shards]
+            isns = [
+                ISNServer(
+                    shard_id=i,
+                    searcher=self.searcher.searchers[i],
+                    cost_model=self.cost_model,
+                    freq_scale=self.freq_scale,
+                    meter=meters[i],
+                    governor=governor,
+                    faults=faults,
+                    sleep=sleep,
+                    telemetry=telemetry,
+                )
+                for i in range(self.n_shards)
+            ]
+            aggregator = Aggregator(
+                isns=isns, policy=policy, network=self.network, sim=sim, k=self.k,
+                cache=cache, response_timeout_ms=response_timeout_ms,
+                telemetry=telemetry,
             )
-            for i in range(self.n_shards)
-        ]
-        aggregator = Aggregator(
-            isns=isns, policy=policy, network=self.network, sim=sim, k=self.k,
-            cache=cache, response_timeout_ms=response_timeout_ms,
-        )
-        for query in trace:
-            sim.schedule_at(
-                query.arrival_time * 1000.0,
-                lambda q=query: aggregator.on_query(q),
-            )
-        sim.run()
-        elapsed = max(sim.now, trace.duration * 1000.0, 1e-9)
-        for isn in isns:
-            isn.finalize_sleep(elapsed)
+            for query in trace:
+                sim.schedule_at(
+                    query.arrival_time * 1000.0,
+                    lambda q=query: aggregator.on_query(q),
+                )
+            if tracer is None:
+                sim.run()
+            else:
+                with tracer.span(
+                    "cluster.replay", track="cluster",
+                    policy=policy.name, n_queries=len(trace.queries),
+                ):
+                    sim.run()
+            elapsed = max(sim.now, trace.duration * 1000.0, 1e-9)
+            for isn in isns:
+                isn.finalize_sleep(elapsed)
+        finally:
+            if tracer is not None:
+                telemetry.unbind_clock()
+            if policy_bind is not None:
+                policy_bind(NO_TELEMETRY)
+            self.executor.bind_telemetry(NO_TELEMETRY)
         report = package_report(meters, self.power_model, elapsed)
         records = sorted(aggregator.records, key=lambda r: r.arrival_ms)
+        hits_after, comps_after = self._searcher_totals()
+        if tracer is not None:
+            metrics = telemetry.metrics
+            metrics.gauge("run.events_processed").set(sim.events_processed)
+            metrics.gauge("run.elapsed_sim_ms").set(elapsed)
+            metrics.gauge("run.queries").set(len(records))
         return RunResult(
             policy_name=policy.name,
             records=records,
             power=report,
             elapsed_ms=elapsed,
             cache_stats=cache.stats if cache is not None else None,
+            events_processed=sim.events_processed,
+            clamped_schedules=sim.clamped_schedules,
+            searcher_hits=hits_after - cache_before[0],
+            searcher_computations=comps_after - cache_before[1],
+        )
+
+    def _searcher_totals(self) -> tuple[int, int]:
+        """Cluster-wide (hits, computations) sums of the searcher memos."""
+        stats = self.searcher.cache_stats()
+        return (
+            sum(s.hits for s in stats),
+            sum(s.computations for s in stats),
         )
 
     def prewarm_trace(self, trace: QueryTrace) -> int:

@@ -10,7 +10,10 @@ web-search latencies.
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 
 class Simulator:
@@ -19,13 +22,22 @@ class Simulator:
     Events scheduled for the same instant fire in scheduling order (a
     monotonic sequence number breaks ties), which keeps runs fully
     deterministic.
+
+    ``telemetry`` (optional) receives the loop's own counters — most
+    importantly the :meth:`schedule_at` past-time clamp (see below).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: "Telemetry | None" = None) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._events_processed = 0
+        self._clamped_schedules = 0
+        self._clamp_counter = (
+            telemetry.metrics.counter("sim.schedule_at.clamped")
+            if telemetry is not None and telemetry.enabled
+            else None
+        )
 
     def schedule(self, delay_ms: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay_ms`` simulated milliseconds from now."""
@@ -35,8 +47,27 @@ class Simulator:
         self._seq += 1
 
     def schedule_at(self, time_ms: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute simulated time ``time_ms``."""
-        self.schedule(max(time_ms - self.now, 0.0), callback)
+        """Run ``callback`` at absolute simulated time ``time_ms``.
+
+        **Clamp policy:** a ``time_ms`` already in the past runs *now*
+        (at ``self.now``), after all previously scheduled same-instant
+        events.  This is deliberate — callers schedule at computed
+        absolute times (trace arrivals, dispatch instants, deadlines)
+        and a sub-epsilon rounding below ``now`` must not crash the
+        run — but it is never silent: each clamp increments
+        :attr:`clamped_schedules` and, when the simulator was built
+        with telemetry, the ``sim.schedule_at.clamped`` counter.  A
+        clamp during a trace replay indicates a timing bug upstream
+        (e.g. an unsorted trace), so tests and experiments can assert
+        the counter stayed zero.
+        """
+        delay = time_ms - self.now
+        if delay < 0.0:
+            delay = 0.0
+            self._clamped_schedules += 1
+            if self._clamp_counter is not None:
+                self._clamp_counter.add()
+        self.schedule(delay, callback)
 
     def run(self, until_ms: float | None = None) -> None:
         """Drain the event queue (optionally stopping at ``until_ms``)."""
@@ -57,3 +88,8 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def clamped_schedules(self) -> int:
+        """How often :meth:`schedule_at` clamped a past time to now."""
+        return self._clamped_schedules

@@ -22,6 +22,7 @@ from repro.cluster.sleep import SleepPolicy
 from repro.retrieval.query import Query
 from repro.retrieval.result import SearchResult
 from repro.retrieval.searcher import ShardSearcher
+from repro.telemetry import NO_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -37,6 +38,7 @@ class Job:
     started_ms: float = 0.0
     boosted: bool = False
     aborted_in_queue: bool = field(default=False, init=False)
+    span: object | None = field(default=None, init=False)  # telemetry service span
 
 
 class ISNServer:
@@ -52,6 +54,7 @@ class ISNServer:
         governor: FrequencyGovernor | None = None,
         faults: FaultSchedule | None = None,
         sleep: SleepPolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.searcher = searcher
@@ -61,6 +64,14 @@ class ISNServer:
         self.governor = governor or AssignedFrequencyGovernor()
         self.faults = faults
         self.sleep = sleep
+        # Telemetry: the tracer reference is None when disabled so every
+        # hot-path check is a single attribute test (zero allocation).
+        telemetry = telemetry or NO_TELEMETRY
+        self._tracer = telemetry.tracer if telemetry.enabled else None
+        self._track = f"isn.{shard_id}"
+        self._metrics = telemetry.metrics
+        self._m_queue_depth = self._metrics.histogram("isn.queue_depth", lo=0.5, hi=1e4)
+        self._m_queued_work = self._metrics.histogram("isn.queued_work_ms")
         self._queue: deque[Job] = deque()
         self._busy = False
         self._last_activity_end_ms = 0.0
@@ -99,9 +110,20 @@ class ISNServer:
             # Fail-silent: the request vanishes; the aggregator learns only
             # through its deadline or response timeout.
             self.jobs_lost_to_faults += 1
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "isn.fault_drop", track=self._track,
+                    qid=job.query.query_id, shard=self.shard_id,
+                )
+                self._metrics.counter("isn.jobs_lost_to_faults").add()
             return
         self.queued_work_default_ms += job.service_default_ms
         self._queue.append(job)
+        if self._tracer is not None:
+            # Depth includes the in-service job: the backlog a new arrival
+            # actually waits behind.
+            self._m_queue_depth.observe(len(self._queue) + (1 if self._busy else 0))
+            self._m_queued_work.observe(self.queued_work_default_ms)
         if not self._busy:
             self._start_next(sim)
 
@@ -113,6 +135,12 @@ class ISNServer:
                 # Expired while waiting: discard without doing any work.
                 job.aborted_in_queue = True
                 self.jobs_aborted += 1
+                if self._tracer is not None:
+                    self._tracer.instant(
+                        "isn.abort_in_queue", track=self._track,
+                        qid=job.query.query_id, shard=self.shard_id,
+                    )
+                    self._metrics.counter("isn.aborted_in_queue").add()
                 self._release_work(job)
                 job.on_done(job, False, 0.0)
                 continue
@@ -149,10 +177,25 @@ class ISNServer:
                 self.meter.add_busy(busy, job.freq_ghz, boosted=job.boosted)
                 sim.schedule(busy, lambda j=job, b=busy: self._finish(j, False, b, sim))
             else:
+                busy = service
                 self.meter.add_busy(service, job.freq_ghz, boosted=job.boosted)
                 sim.schedule(
                     service, lambda j=job, s=service: self._finish(j, True, s, sim)
                 )
+            if self._tracer is not None:
+                # The service span opens when the core starts the job and
+                # closes in _finish — an interval with real sim duration
+                # on this ISN's (strictly sequential) track.
+                job.span = self._tracer.span(
+                    "isn.service", track=self._track,
+                    qid=job.query.query_id, shard=self.shard_id,
+                    freq_ghz=job.freq_ghz, boosted=job.boosted,
+                )
+                self._metrics.counter(
+                    f"isn.freq_residency_ms.{job.freq_ghz:.1f}ghz"
+                ).add(busy)
+                if wake_ms > 0:
+                    self._metrics.counter("isn.wakeups").add()
             return
         self._busy = False
 
@@ -177,6 +220,12 @@ class ISNServer:
             self.jobs_processed += 1
         else:
             self.jobs_aborted += 1
+        if job.span is not None:
+            job.span.attrs["completed"] = completed
+            job.span.finish()
+            self._metrics.histogram("isn.service_ms").observe(busy_ms)
+            if not completed:
+                self._metrics.counter("isn.aborted_at_deadline").add()
         self._release_work(job)
         job.on_done(job, completed, busy_ms)
         self._start_next(sim)

@@ -152,6 +152,11 @@ class CottagePolicy(BasePolicy):
         """
         return 2.0 * self.network.delay_ms() + self.bank.coordination_overhead_ms()
 
+    def bind_telemetry(self, telemetry) -> None:
+        """Bind the run's session, including the bank's inference spans."""
+        super().bind_telemetry(telemetry)
+        self.bank.bind_telemetry(telemetry)
+
     def prewarm(self, queries: list[Query]) -> None:
         """Batch-predict the whole trace through the fused kernels.
 
@@ -162,9 +167,31 @@ class CottagePolicy(BasePolicy):
         self.bank.prewarm(queries)
 
     def decide(self, query: Query, view: ClusterView) -> Decision:
-        decision = determine_time_budget(
-            self.budget_inputs(query, view), boost_margin=self.boost_margin
-        )
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            decision = determine_time_budget(
+                self.budget_inputs(query, view), boost_margin=self.boost_margin
+            )
+        else:
+            # The two halves of the coordination round (paper Fig. 5 steps
+            # 1-4): per-ISN prediction, then Algorithm 1.  Both nest under
+            # the aggregator's decide span on its track.
+            tracer = telemetry.tracer
+            with tracer.span("policy.predict", track="aggregator", qid=query.query_id):
+                inputs = self.budget_inputs(query, view)
+            with tracer.span(
+                "policy.budget_assign", track="aggregator", qid=query.query_id
+            ):
+                decision = determine_time_budget(
+                    inputs, boost_margin=self.boost_margin
+                )
+            metrics = telemetry.metrics
+            metrics.counter("cottage.cut_zero_quality").add(
+                len(decision.cut_zero_quality)
+            )
+            metrics.counter("cottage.cut_too_slow").add(len(decision.cut_too_slow))
+            metrics.counter("cottage.boosted").add(len(decision.boosted))
+            metrics.counter("cottage.kept").add(len(decision.selected))
         if not decision.selected:
             # Predicted zero quality everywhere — run the single most
             # plausible shard instead of answering empty (a pure fallback;

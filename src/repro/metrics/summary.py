@@ -33,6 +33,11 @@ class PolicySummary:
     avg_counted_isns: float
     avg_docs_searched: float
     avg_power_w: float
+    # Run-accounting extras (defaulted: summaries predating them load fine).
+    events_processed: int = 0
+    searcher_hits: int = 0
+    searcher_computations: int = 0
+    result_cache_hit_rate: float | None = None
 
     def row(self) -> dict[str, float | str | int]:
         return {
@@ -44,6 +49,7 @@ class PolicySummary:
             "ISNs": round(self.avg_selected_isns, 2),
             "C_RES": round(self.avg_docs_searched, 1),
             "power_W": round(self.avg_power_w, 2),
+            "events": self.events_processed,
         }
 
 
@@ -71,6 +77,12 @@ def summarize_run(
         avg_counted_isns=float(np.mean([r.n_counted for r in run.records])),
         avg_docs_searched=float(np.mean([r.docs_searched for r in run.records])),
         avg_power_w=run.power.average_power_w,
+        events_processed=run.events_processed,
+        searcher_hits=run.searcher_hits,
+        searcher_computations=run.searcher_computations,
+        result_cache_hit_rate=(
+            run.cache_stats.hit_rate if run.cache_stats is not None else None
+        ),
     )
 
 

@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 
 from repro.cluster.types import ClusterView, Decision, QueryRecord
 from repro.retrieval.query import Query
+from repro.telemetry import NO_TELEMETRY, Telemetry
 
 
 class BasePolicy(ABC):
@@ -14,9 +15,18 @@ class BasePolicy(ABC):
     Subclasses implement :meth:`decide`; :meth:`observe` is an optional
     feedback hook (the epoch-based aggregation baseline uses it to learn
     its budget from completed queries).
+
+    ``telemetry`` is rebound per run by :meth:`SearchCluster.run_trace`
+    (see :meth:`bind_telemetry`); the default is the shared disabled
+    session, so policies may instrument unconditionally.
     """
 
     name: str = "base"
+    telemetry: Telemetry = NO_TELEMETRY
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach the run's telemetry session (instance attribute)."""
+        self.telemetry = telemetry
 
     @abstractmethod
     def decide(self, query: Query, view: ClusterView) -> Decision:

@@ -30,6 +30,7 @@ from repro.predictors.fused import FusedLatencyModels, FusedQualityModels
 from repro.predictors.latency import LatencyBinning, LatencyPredictor
 from repro.predictors.quality import QualityPredictor
 from repro.retrieval.query import Query
+from repro.telemetry import NO_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,21 @@ class PredictorBank:
         self._fused: (
             tuple[FusedQualityModels, FusedQualityModels, FusedLatencyModels] | None
         ) = None
+        # Telemetry (rebound per run; see bind_telemetry).  The tracer is
+        # None when disabled so the memo-cache hot path pays one test.
+        self._tracer = None
+        self._m_cache_hits = NO_TELEMETRY.metrics.counter("bank.prediction_cache.hits")
+        self._m_cache_misses = NO_TELEMETRY.metrics.counter(
+            "bank.prediction_cache.misses"
+        )
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach a run's telemetry session to the inference paths."""
+        self._tracer = telemetry.tracer if telemetry.enabled else None
+        self._m_cache_hits = telemetry.metrics.counter("bank.prediction_cache.hits")
+        self._m_cache_misses = telemetry.metrics.counter(
+            "bank.prediction_cache.misses"
+        )
 
     @property
     def n_shards(self) -> int:
@@ -210,7 +226,11 @@ class PredictorBank:
             raise RuntimeError("predictor bank has not been trained")
         cached = self._prediction_cache.get(query.terms)
         if cached is not None:
+            if self._tracer is not None:
+                self._m_cache_hits.add()
             return cached
+        if self._tracer is not None:
+            self._m_cache_misses.add()
         return self.batch_predict([query])[0]
 
     def batch_predict(self, queries: list[Query]) -> list[tuple[ISNPrediction, ...]]:
@@ -234,31 +254,39 @@ class PredictorBank:
                 q.terms for q in queries if q.terms not in self._prediction_cache
             )
         )
-        if missing:
-            quality_t, latency_t = trace_feature_tensors(missing, self._feature_cache)
-            fused_k, fused_half, fused_latency = self.fused_stacks()
-            counts_k, p_zero_k = fused_k.predict_with_zero_prob_many(quality_t)
-            counts_half, p_zero_half = fused_half.predict_with_zero_prob_many(
-                quality_t
-            )
-            service_ms = fused_latency.predict_service_ms_many(latency_t)
-            shard_ids = range(self.n_shards)
-            # tolist() converts to native int/float in one C pass, and the
-            # positional map() builds each row of ISNPredictions without a
-            # Python-level loop — both much cheaper than per-element numpy
-            # scalar indexing here.
-            for terms, row_k, row_half, row_ms, row_pk, row_ph in zip(
-                missing,
-                counts_k.tolist(),
-                counts_half.tolist(),
-                service_ms.tolist(),
-                p_zero_k.tolist(),
-                p_zero_half.tolist(),
+        if missing and self._tracer is not None:
+            with self._tracer.span(
+                "bank.batch_predict", track="bank",
+                n_queries=len(queries), n_uncached=len(missing),
             ):
-                self._prediction_cache[terms] = tuple(
-                    map(ISNPrediction, shard_ids, row_k, row_half, row_ms, row_pk, row_ph)
-                )
+                self._predict_missing(missing)
+        elif missing:
+            self._predict_missing(missing)
         return [self._prediction_cache[q.terms] for q in queries]
+
+    def _predict_missing(self, missing: list[tuple[str, ...]]) -> None:
+        """Run the fused cross-shard passes for uncached term tuples."""
+        quality_t, latency_t = trace_feature_tensors(missing, self._feature_cache)
+        fused_k, fused_half, fused_latency = self.fused_stacks()
+        counts_k, p_zero_k = fused_k.predict_with_zero_prob_many(quality_t)
+        counts_half, p_zero_half = fused_half.predict_with_zero_prob_many(quality_t)
+        service_ms = fused_latency.predict_service_ms_many(latency_t)
+        shard_ids = range(self.n_shards)
+        # tolist() converts to native int/float in one C pass, and the
+        # positional map() builds each row of ISNPredictions without a
+        # Python-level loop — both much cheaper than per-element numpy
+        # scalar indexing here.
+        for terms, row_k, row_half, row_ms, row_pk, row_ph in zip(
+            missing,
+            counts_k.tolist(),
+            counts_half.tolist(),
+            service_ms.tolist(),
+            p_zero_k.tolist(),
+            p_zero_half.tolist(),
+        ):
+            self._prediction_cache[terms] = tuple(
+                map(ISNPrediction, shard_ids, row_k, row_half, row_ms, row_pk, row_ph)
+            )
 
     def prewarm(self, queries: list[Query]) -> int:
         """Fill the prediction cache for a trace through the batched plane.

@@ -114,6 +114,13 @@ class ShardExecutor:
 
     def __init__(self) -> None:
         self.last_stats: FanoutStats | None = None
+        # Telemetry tracer, bound per run; None means disabled and costs
+        # exactly one attribute test per map call.
+        self._tracer = None
+
+    def bind_telemetry(self, telemetry: object) -> None:
+        """Attach a run's telemetry session to subsequent ``map`` calls."""
+        self._tracer = telemetry.tracer if telemetry.enabled else None
 
     @property
     def workers(self) -> int:
@@ -121,6 +128,20 @@ class ShardExecutor:
 
     def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         """Run ``tasks``, returning their results in submission order."""
+        tracer = self._tracer
+        if tracer is None:
+            return self._run(tasks)
+        with tracer.span(
+            "executor.map", track="executor",
+            strategy=self.name, n_tasks=len(tasks), workers=self.workers,
+        ) as span:
+            results = self._run(tasks)
+            if self.last_stats is not None:
+                span.attrs["wall_ms"] = self.last_stats.wall_ms
+            return results
+
+    def _run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        """Strategy-specific execution; ``map`` wraps it with telemetry."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -141,7 +162,7 @@ class SerialExecutor(ShardExecutor):
 
     name = "serial"
 
-    def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+    def _run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         stats = FanoutStats(workers=1)
         start = time.perf_counter()
         results: list[T] = []
@@ -186,7 +207,7 @@ class ParallelExecutor(ShardExecutor):
                 )
             return self._pool
 
-    def map(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+    def _run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         pool = self._ensure_pool()
         stats = FanoutStats(workers=self._workers)
         durations = [0.0] * len(tasks)

@@ -1,0 +1,284 @@
+"""Telemetry exporters: JSONL spans, Chrome trace events, flamegraph text.
+
+Three consumers, three formats:
+
+* :func:`write_spans_jsonl` — one JSON object per finished span, the
+  greppable archive format.
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON that Perfetto (https://ui.perfetto.dev) and
+  ``chrome://tracing`` load directly.  One thread ("track") per ISN plus
+  the aggregator; sync spans become duration events (``ph: B/E``),
+  query lifecycles become nestable async events (``ph: b/e``), markers
+  become instants.  Timestamps are **sim time** in microseconds, so the
+  visual timeline is the simulated cluster, not the host.
+* :func:`flamegraph_summary` — a terminal flamegraph-style rollup of
+  sync spans by call path (count, wall time, sim time), what the
+  ``repro trace`` CLI prints.
+
+:func:`validate_chrome_trace` checks the invariants the exporter
+guarantees by construction — per-track B/E nesting balance and sim-time
+monotonicity — and is what the round-trip test runs against a re-parsed
+export.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.session import Telemetry
+    from repro.telemetry.trace import Span, Tracer
+
+__all__ = [
+    "span_record",
+    "write_spans_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "flamegraph_summary",
+]
+
+_PID = 1  # one simulated cluster == one "process" in the trace
+
+
+def span_record(span: "Span") -> dict:
+    """One span as a JSON-ready dict (the JSONL line format)."""
+    return {
+        "name": span.name,
+        "track": span.track,
+        "kind": span.kind,
+        "path": "/".join(span.path),
+        "sim_begin_ms": span.sim_begin_ms,
+        "sim_ms": span.sim_ms,
+        "wall_ms": span.wall_ms,
+        "attrs": _jsonable(span.attrs),
+    }
+
+
+def write_spans_jsonl(telemetry: "Telemetry", path: str | Path) -> int:
+    """Write every finished span as one JSON line; return the count."""
+    spans = telemetry.tracer.spans
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span_record(span), sort_keys=True))
+            fh.write("\n")
+    return len(spans)
+
+
+# ---------------------------------------------------------------- chrome trace
+def chrome_trace_events(telemetry: "Telemetry") -> list[dict]:
+    """The run as Chrome trace events (load in Perfetto).
+
+    Track → thread id assignment is deterministic: the aggregator (if
+    present) gets tid 0, every other track follows in first-use order.
+    Only finished spans are exported, so the per-track B/E stream stays
+    balanced even if a run was cut short with spans open.
+    """
+    tracer = telemetry.tracer
+    tids = _track_tids(tracer)
+    meta: list[dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    data: list[dict] = []
+    for track, tid in tids.items():
+        for kind, span in tracer.track_log(track):
+            if not span.finished:
+                continue  # never emit an unbalanced B
+            if kind == "B":
+                data.append(_event(span, "B", tid, span.sim_begin_ms))
+            elif kind == "E":
+                data.append(
+                    {"ph": "E", "pid": _PID, "tid": tid, "ts": _us(span.sim_end_ms)}
+                )
+            else:  # instant
+                event = _event(span, "i", tid, span.sim_begin_ms)
+                event["s"] = "t"  # thread-scoped marker
+                data.append(event)
+    for phase, span in tracer.async_log:
+        if not span.finished:
+            continue
+        ts = span.sim_begin_ms if phase == "b" else span.sim_end_ms
+        event = _event(span, phase, tids[span.track], ts)
+        event["cat"] = "query"
+        event["id"] = span.span_id
+        if phase == "e":
+            event.pop("args", None)
+        data.append(event)
+    # One global timeline: stable sort by timestamp.  Per-track emission
+    # order is already monotonic, and stability preserves it on ties, so
+    # B/E nesting survives the sort — only cross-stream interleaving (the
+    # async lifecycle events recorded after the sync logs) changes.
+    data.sort(key=lambda event: event["ts"])
+    return meta + data
+
+
+def write_chrome_trace(telemetry: "Telemetry", path: str | Path) -> int:
+    """Write the Perfetto-loadable JSON; return the event count."""
+    events = chrome_trace_events(telemetry)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(events)
+
+
+def validate_chrome_trace(events: Iterable[dict]) -> None:
+    """Raise ValueError unless the B/E/async invariants hold.
+
+    Checks, per (pid, tid) track: duration events nest (every E matches
+    the innermost open B, nothing left open), timestamps never decrease;
+    and per async id: b/e strictly alternate and close.  These are the
+    guarantees :func:`chrome_trace_events` makes by construction.
+    """
+    stacks: dict[tuple, list[dict]] = {}
+    last_ts: dict[tuple, float] = {}
+    async_open: dict[tuple, dict] = {}
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event missing numeric ts: {event!r}")
+        if ts < last_ts.get(key, float("-inf")):
+            raise ValueError(
+                f"timestamps go backwards on track {key}: {ts} after {last_ts[key]}"
+            )
+        last_ts[key] = ts
+        if phase == "B":
+            stacks.setdefault(key, []).append(event)
+        elif phase == "E":
+            stack = stacks.get(key)
+            if not stack:
+                raise ValueError(f"E without open B on track {key} at ts={ts}")
+            begin = stack.pop()
+            if ts < begin["ts"]:
+                raise ValueError("span ends before it begins")
+        elif phase == "b":
+            akey = (event.get("cat"), event.get("id"))
+            if akey in async_open:
+                raise ValueError(f"async span {akey} opened twice")
+            async_open[akey] = event
+        elif phase == "e":
+            akey = (event.get("cat"), event.get("id"))
+            if akey not in async_open:
+                raise ValueError(f"async end without begin: {akey}")
+            del async_open[akey]
+        elif phase not in ("i", "I"):
+            raise ValueError(f"unexpected phase {phase!r}")
+    unbalanced = {key: stack for key, stack in stacks.items() if stack}
+    if unbalanced:
+        raise ValueError(f"unclosed B events on tracks: {sorted(unbalanced)}")
+    if async_open:
+        raise ValueError(f"unclosed async spans: {sorted(async_open)}")
+
+
+def _track_tids(tracer: "Tracer") -> dict[str, int]:
+    tracks = tracer.tracks
+    ordered = [t for t in ("aggregator",) if t in tracks]
+    ordered += [t for t in tracks if t not in ordered]
+    return {track: tid for tid, track in enumerate(ordered)}
+
+
+def _event(span: "Span", phase: str, tid: int, ts_ms: float) -> dict:
+    event = {
+        "name": span.name,
+        "ph": phase,
+        "pid": _PID,
+        "tid": tid,
+        "ts": _us(ts_ms),
+    }
+    if span.attrs:
+        event["args"] = _jsonable(span.attrs)
+    return event
+
+
+def _us(ms: float) -> float:
+    return round(ms * 1000.0, 3)
+
+
+def _jsonable(attrs: dict) -> dict:
+    return {key: _scalar(value) for key, value in attrs.items()}
+
+
+def _scalar(value: object):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ------------------------------------------------------------------ flamegraph
+def flamegraph_summary(telemetry: "Telemetry", max_rows: int = 60) -> str:
+    """Terminal flamegraph: sync spans rolled up by call path.
+
+    Rows are indented by stack depth and ordered depth-first by wall
+    time, with per-path call counts and both clocks.  Async lifecycle
+    spans are summarized on one closing line (they overlap, so a stack
+    rollup would double-count).
+    """
+    sync = [s for s in telemetry.tracer.spans if s.kind == "sync"]
+    rollup: dict[tuple[str, ...], list[float]] = {}
+    for span in sync:
+        key = (span.track,) + span.path
+        entry = rollup.setdefault(key, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span.wall_ms
+        entry[2] += span.sim_ms
+    if not rollup:
+        return "(no spans recorded)"
+
+    # Depth-first order: children follow their parent, heaviest first.
+    children: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    for key in rollup:
+        children.setdefault(key[:-1], []).append(key)
+    for sibling in children.values():
+        sibling.sort(key=lambda key: -rollup[key][1])
+
+    lines = [
+        f"{'span':<44} {'calls':>8} {'wall ms':>12} {'sim ms':>12}",
+        "-" * 80,
+    ]
+
+    def emit(key: tuple[str, ...]) -> None:
+        if len(lines) - 2 >= max_rows:
+            return
+        count, wall, sim = rollup[key]
+        depth = len(key) - 2  # track + first name sit at depth 0
+        label = ("  " * depth + key[-1]) if len(key) > 1 else key[0]
+        lines.append(f"{label:<44} {count:>8d} {wall:>12.2f} {sim:>12.3f}")
+        for child in children.get(key, []):
+            emit(child)
+
+    roots = sorted(
+        {key[:2] for key in rollup},
+        key=lambda key: (-rollup.get(key, [0, 0.0, 0.0])[1], key),
+    )
+    current_track = None
+    for root in roots:
+        if root not in rollup:
+            continue
+        if len(lines) - 2 >= max_rows:
+            break
+        if root[0] != current_track:
+            current_track = root[0]
+            lines.append(f"[track {current_track}]")
+        emit(root)
+
+    lifecycles = [s for s in telemetry.tracer.spans if s.kind == "async"]
+    if lifecycles:
+        total_sim = sum(s.sim_ms for s in lifecycles)
+        lines.append("-" * 80)
+        lines.append(
+            f"{len(lifecycles)} query lifecycles, "
+            f"mean {total_sim / len(lifecycles):.3f} sim ms"
+        )
+    return "\n".join(lines)

@@ -120,3 +120,55 @@ class TestFaultyRuns:
     def test_timeout_validation(self, cluster):
         with pytest.raises(ValueError):
             cluster.run_trace(trace(), ExhaustivePolicy(), response_timeout_ms=0.0)
+
+
+class TestTimeoutFaultsCacheCombined:
+    """Response timeout + fail-silent faults + result cache, together.
+
+    The sequencing under test: a query misses the cache and is dispatched;
+    a duplicate arrives while the first is still in flight (the result is
+    not cached until finalize, so it also misses and dispatches); the
+    safety timeout then finalizes both against the dead shard, the merged
+    result is cached, and a third occurrence answers from the cache.
+    """
+
+    def test_timeout_fires_while_cached_query_in_flight(self, cluster):
+        from repro.cluster import ResultCache
+
+        timeout_ms = 50.0
+        faults = FaultSchedule.single(0, 0.0, 1e9)  # shard 0 never answers
+        cache = ResultCache(capacity=8)
+        repeats = QueryTrace(
+            name="repeats",
+            queries=[
+                # Same terms three times: t=0 (miss, dispatch), t=20ms
+                # (in flight -> miss, dispatch), t=200ms (cache hit).
+                Query(query_id=0, terms=("t1", "t12"), arrival_time=0.0),
+                Query(query_id=1, terms=("t1", "t12"), arrival_time=0.020),
+                Query(query_id=2, terms=("t1", "t12"), arrival_time=0.200),
+            ],
+        )
+        run = cluster.run_trace(
+            repeats,
+            ExhaustivePolicy(),
+            faults=faults,
+            response_timeout_ms=timeout_ms,
+            cache=cache,
+        )
+        first, second, third = run.records
+        # Both in-flight queries missed the cache and paid the timeout.
+        assert not first.from_cache and not second.from_cache
+        assert first.latency_ms >= timeout_ms
+        assert second.latency_ms >= timeout_ms
+        # The third arrived after the first finalized and hit the cache.
+        assert third.from_cache
+        assert third.latency_ms == cache.lookup_ms
+        assert third.outcomes == []  # zero ISN work on a hit
+        assert run.cache_stats.hits == 1
+        assert run.cache_stats.misses == 2
+        # Every dispatched answer excludes the dead shard but is non-empty.
+        for record in (first, second):
+            counted = {o.shard_id for o in record.outcomes if o.counted}
+            assert 0 not in counted
+            assert counted == {1, 2, 3}
+        assert third.result.hits == first.result.hits
