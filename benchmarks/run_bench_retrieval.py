@@ -1,0 +1,83 @@
+"""Standalone retrieval-kernel benchmark harness.
+
+Builds the synthetic 16-shard zipfian corpus, times every scalar
+reference evaluator against its block-scored arena kernel, prints the
+report, and writes ``BENCH_retrieval.json`` for the perf trajectory
+(CI uploads it as an artifact)::
+
+    python benchmarks/run_bench_retrieval.py --out BENCH_retrieval.json
+
+Exits nonzero if any strategy pair ever disagrees bit-for-bit, or if
+the MaxScore kernel speedup falls below ``--fail-below`` (default 3x —
+the floor the kernels were tuned against at this corpus scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import bench_retrieval  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--shards", type=int, default=bench_retrieval.N_SHARDS
+    )
+    parser.add_argument(
+        "--docs-per-shard", type=int, default=bench_retrieval.DOCS_PER_SHARD
+    )
+    parser.add_argument(
+        "--queries", type=int, default=bench_retrieval.N_QUERIES
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=bench_retrieval.SEED)
+    parser.add_argument(
+        "--out", default="BENCH_retrieval.json", help="JSON output path"
+    )
+    parser.add_argument(
+        "--fail-below", type=float, default=3.0,
+        help="exit nonzero if the maxscore speedup falls below this factor",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"building {args.shards}-shard x {args.docs_per_shard}-doc corpus "
+        "and timing strategy pairs...",
+        flush=True,
+    )
+    result = bench_retrieval.run(
+        n_shards=args.shards,
+        docs_per_shard=args.docs_per_shard,
+        n_queries=args.queries,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(bench_retrieval.format_report(result))
+    bench_retrieval.write_json(result, args.out)
+    print(f"wrote {args.out}")
+
+    if not result.bit_identical:
+        broken = [s.strategy for s in result.strategies if not s.bit_identical]
+        print(
+            f"FAIL: kernels not bit-identical to references: {broken}",
+            file=sys.stderr,
+        )
+        return 1
+    maxscore = result.speedup("maxscore")
+    if maxscore < args.fail_below:
+        print(
+            f"FAIL: maxscore kernel speedup {maxscore:.2f}x below "
+            f"--fail-below {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

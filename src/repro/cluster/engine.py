@@ -131,8 +131,8 @@ class SearchCluster:
         ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry`
         session for this run: the simulator clock is bound to the tracer
         (spans record sim-time *and* wall-time), every layer's spans and
-        metrics flow into it, and the policy/executor are rebound to the
-        disabled session afterwards.  Telemetry never changes a
+        metrics flow into it, and the policy/executor/searchers are
+        rebound to the disabled session afterwards.  Telemetry never changes a
         simulation outcome — runs are bit-identical with it on or off
         (pinned by ``tests/test_telemetry_integration.py``).
         """
@@ -150,6 +150,7 @@ class SearchCluster:
         if policy_bind is not None:
             policy_bind(telemetry)
         self.executor.bind_telemetry(telemetry)
+        self.searcher.bind_telemetry(telemetry)
         cache_before = self._searcher_totals()
         try:
             if prewarm_retrieval:
@@ -215,6 +216,7 @@ class SearchCluster:
             if policy_bind is not None:
                 policy_bind(NO_TELEMETRY)
             self.executor.bind_telemetry(NO_TELEMETRY)
+            self.searcher.bind_telemetry(NO_TELEMETRY)
         report = package_report(meters, self.power_model, elapsed)
         records = sorted(aggregator.records, key=lambda r: r.arrival_ms)
         hits_after, comps_after = self._searcher_totals()

@@ -6,7 +6,7 @@ Each ``figNN_*`` module exposes ``run(testbed) -> Result`` and
 ``paper`` holds the paper's reported values.
 """
 
-from repro.experiments import bench_inference
+from repro.experiments import bench_inference, bench_retrieval
 from repro.experiments.testbed import Scale, Testbed
 
-__all__ = ["Scale", "Testbed", "bench_inference"]
+__all__ = ["Scale", "Testbed", "bench_inference", "bench_retrieval"]

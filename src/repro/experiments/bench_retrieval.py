@@ -1,0 +1,227 @@
+"""Retrieval-plane microbenchmark: scalar references vs. arena kernels.
+
+Times each cursor-based scalar reference evaluator (``maxscore_search``
+et al.) against its block-scored arena kernel
+(:mod:`repro.retrieval.kernels`) over a synthetic 16-shard zipfian
+corpus at the scale the kernels are built for (long posting lists,
+multi-term queries), verifies the two paths are bit-identical —
+hits, float scores, tie order and every ``CostStats`` counter, via
+:meth:`~repro.retrieval.result.SearchResult.fingerprint` — and reports
+per-strategy speedups.  ``benchmarks/run_bench_retrieval.py`` drives
+this and writes ``BENCH_retrieval.json`` so future changes have a perf
+trajectory to regress against; CI gates on the MaxScore speedup floor.
+
+The corpus is deliberately *not* the experiment testbed: kernel wins are
+scale-dependent (the dispatch floor in the kernels sends short-postings
+queries to the scalars), so the benchmark builds posting lists long
+enough that the vectorized path is actually exercised — 16 shards x
+8000 docs with Zipf-like term frequencies, the same shape the paper's
+ISN-level traces have.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.index import Document, IndexBuilder, IndexShard
+from repro.retrieval import (
+    SearchResult,
+    block_max_wand_search,
+    block_max_wand_search_kernel,
+    conjunctive_search,
+    conjunctive_search_kernel,
+    maxscore_search,
+    maxscore_search_kernel,
+    wand_search,
+    wand_search_kernel,
+)
+from repro.text import WhitespaceAnalyzer
+
+N_SHARDS = 16
+DOCS_PER_SHARD = 8000
+VOCAB_SIZE = 300
+N_QUERIES = 12
+K = 10
+SEED = 42
+
+SearchFn = Callable[[IndexShard, list[str], int], SearchResult]
+
+#: (strategy name, scalar reference, arena kernel) — the same pairing the
+#: searcher's ``STRATEGIES`` registry wires up.
+PAIRS: list[tuple[str, SearchFn, SearchFn]] = [
+    ("maxscore", maxscore_search, maxscore_search_kernel),
+    ("wand", wand_search, wand_search_kernel),
+    ("block_max_wand", block_max_wand_search, block_max_wand_search_kernel),
+    ("conjunctive", conjunctive_search, conjunctive_search_kernel),
+]
+
+
+@dataclass(frozen=True)
+class StrategySpeedup:
+    strategy: str
+    reference_ms: float
+    kernel_ms: float
+    speedup: float
+    bit_identical: bool
+
+
+@dataclass(frozen=True)
+class RetrievalBenchResult:
+    n_shards: int
+    docs_per_shard: int
+    vocab_size: int
+    n_queries: int
+    k: int
+    seed: int
+    strategies: list[StrategySpeedup]
+
+    def speedup(self, strategy: str) -> float:
+        for s in self.strategies:
+            if s.strategy == strategy:
+                return s.speedup
+        raise KeyError(strategy)
+
+    @property
+    def bit_identical(self) -> bool:
+        return all(s.bit_identical for s in self.strategies)
+
+
+def build_corpus(
+    n_shards: int = N_SHARDS,
+    docs_per_shard: int = DOCS_PER_SHARD,
+    vocab_size: int = VOCAB_SIZE,
+    seed: int = SEED,
+) -> list[IndexShard]:
+    """Zipf-like synthetic shards: head terms get the long posting lists.
+
+    Term frequencies follow a Pareto draw (shape 1.1), so a handful of
+    vocabulary head terms dominate — the regime where block scoring pays
+    and where real query traces live.  Deterministic per (shard, seed).
+    """
+    vocab = [f"t{i:03d}" for i in range(vocab_size)]
+    shards = []
+    for shard_id in range(n_shards):
+        rng = random.Random(seed + 100 + shard_id)
+        builder = IndexBuilder(shard_id, analyzer=WhitespaceAnalyzer())
+        base = shard_id * docs_per_shard
+        for i in range(docs_per_shard):
+            n_words = rng.randint(8, 40)
+            words = [
+                vocab[min(int(rng.paretovariate(1.1)) - 1, vocab_size - 1)]
+                for _ in range(n_words)
+            ]
+            builder.add(Document(doc_id=base + i, text=" ".join(words)))
+        shards.append(builder.build())
+    return shards
+
+
+def sample_queries(
+    n_queries: int = N_QUERIES,
+    vocab_size: int = VOCAB_SIZE,
+    seed: int = SEED,
+) -> list[list[str]]:
+    """2-4 term queries, terms Pareto-drawn (shape 1.2) over the vocab."""
+    vocab = [f"t{i:03d}" for i in range(vocab_size)]
+    rng = random.Random(seed)
+    return [
+        [
+            vocab[min(int(rng.paretovariate(1.2)) - 1, vocab_size - 1)]
+            for _ in range(rng.randint(2, 4))
+        ]
+        for _ in range(n_queries)
+    ]
+
+
+def _sweep_s(
+    fn: SearchFn,
+    shards: list[IndexShard],
+    queries: list[list[str]],
+    k: int,
+    repeats: int,
+) -> float:
+    """Best-of-``repeats`` wall time for one full query x shard sweep."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for terms in queries:
+            for shard in shards:
+                fn(shard, list(terms), k)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(
+    n_shards: int = N_SHARDS,
+    docs_per_shard: int = DOCS_PER_SHARD,
+    vocab_size: int = VOCAB_SIZE,
+    n_queries: int = N_QUERIES,
+    k: int = K,
+    seed: int = SEED,
+    repeats: int = 3,
+) -> RetrievalBenchResult:
+    """Build the corpus, verify bit-identity, time every strategy pair.
+
+    The bit-identity pass doubles as the warmup (arenas are materialized
+    lazily on first kernel call), so timing starts steady-state.  Both
+    paths of a pair are timed back-to-back per strategy to keep machine
+    drift out of the ratio.
+    """
+    shards = build_corpus(n_shards, docs_per_shard, vocab_size, seed)
+    queries = sample_queries(n_queries, vocab_size, seed)
+
+    strategies = []
+    for name, ref_fn, kernel_fn in PAIRS:
+        bit_identical = all(
+            ref_fn(shard, list(terms), k).fingerprint()
+            == kernel_fn(shard, list(terms), k).fingerprint()
+            for terms in queries
+            for shard in shards
+        )
+        ref_s = _sweep_s(ref_fn, shards, queries, k, repeats)
+        kernel_s = _sweep_s(kernel_fn, shards, queries, k, repeats)
+        strategies.append(
+            StrategySpeedup(
+                strategy=name,
+                reference_ms=ref_s * 1e3,
+                kernel_ms=kernel_s * 1e3,
+                speedup=ref_s / kernel_s,
+                bit_identical=bit_identical,
+            )
+        )
+
+    return RetrievalBenchResult(
+        n_shards=n_shards,
+        docs_per_shard=docs_per_shard,
+        vocab_size=vocab_size,
+        n_queries=n_queries,
+        k=k,
+        seed=seed,
+        strategies=strategies,
+    )
+
+
+def format_report(result: RetrievalBenchResult) -> str:
+    lines = [
+        "Retrieval plane — scalar references vs. block-scored arena kernels",
+        (
+            f"  corpus: {result.n_shards} shards x {result.docs_per_shard} "
+            f"docs   queries: {result.n_queries} (k={result.k})"
+        ),
+    ]
+    for s in result.strategies:
+        lines.append(
+            f"  {s.strategy:16s} ref {s.reference_ms:8.1f} ms   "
+            f"kernel {s.kernel_ms:8.1f} ms   speedup {s.speedup:5.2f}x   "
+            f"bit-identical {s.bit_identical}"
+        )
+    return "\n".join(lines)
+
+
+def write_json(result: RetrievalBenchResult, path: str | Path) -> None:
+    """Write the result as the ``BENCH_retrieval.json`` perf record."""
+    Path(path).write_text(json.dumps(asdict(result), indent=2) + "\n")

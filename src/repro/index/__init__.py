@@ -7,6 +7,7 @@ Cottage predictors), document-allocation policies, and the Central Sample
 Index used by the Rank-S baseline.
 """
 
+from repro.index.arena import PostingsArena, TermRun
 from repro.index.builder import (
     CollectionStats,
     IndexBuilder,
@@ -42,6 +43,8 @@ __all__ = [
     "IndexShard",
     "ShardTerm",
     "BLOCK_SIZE",
+    "PostingsArena",
+    "TermRun",
     "save_shard",
     "load_shard",
     "save_shards",

@@ -1,0 +1,194 @@
+"""Columnar postings arena: one shard's index as flat numpy columns.
+
+The cursor-based evaluators in :mod:`repro.retrieval` attach per-term
+``scores``/``block_maxes`` arrays to a fresh :class:`PostingCursor` on
+every query, and then advance posting by posting with an ``int()``/
+``float()`` boxing per access.  The arena removes both costs: every
+posting list of the shard is concatenated once — at index build time —
+into contiguous ``doc_ids``/``tfs``/``scores`` columns with per-term
+offset slices, and the block-max metadata is packed the same way.  The
+vectorized kernels in :mod:`repro.retrieval.kernels` operate directly on
+these columns with ``searchsorted`` + masked gathers; a query only pays
+for building a handful of :class:`TermRun` slice views.
+
+Terms are laid out in sorted order, which matches the on-disk ``.npz``
+layout of :mod:`repro.index.storage` — a loaded shard and a freshly
+built one produce byte-identical arenas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.index.shard import IndexShard
+
+
+@dataclass
+class TermRun:
+    """One query term's live traversal state over the arena columns.
+
+    ``doc_ids``/``scores``/``tfs`` are zero-copy views of the arena
+    columns; ``pos`` is the cursor position within the views (the kernels
+    mutate it in place).  ``block_maxes`` holds the per-block maxima for
+    this term and ``block_size`` the block length, mirroring what the
+    scalar evaluators attach to a :class:`~repro.index.postings.
+    PostingCursor`.
+    """
+
+    term: str
+    doc_ids: np.ndarray
+    tfs: np.ndarray
+    scores: np.ndarray
+    upper_bound: float
+    block_maxes: np.ndarray
+    block_size: int
+    size: int
+    pos: int = 0
+
+    def remaining(self) -> int:
+        return max(self.size - self.pos, 0)
+
+    def exhausted(self) -> bool:
+        return self.pos >= self.size
+
+
+class PostingsArena:
+    """Immutable columnar view of one shard's complete inverted index.
+
+    Attributes
+    ----------
+    doc_ids, tfs, scores:
+        All posting lists concatenated in sorted-term order.
+    offsets:
+        ``offsets[i]:offsets[i+1]`` slices term *i*'s postings out of the
+        columns.
+    upper_bounds:
+        Per-term global score upper bounds, aligned with ``terms``.
+    block_maxes, block_offsets:
+        Per-block score maxima for every term, concatenated, with
+        ``block_offsets`` slicing them per term (Block-Max WAND
+        metadata).
+    """
+
+    __slots__ = (
+        "terms", "offsets", "doc_ids", "tfs", "scores",
+        "upper_bounds", "block_maxes", "block_offsets", "block_size",
+        "_term_ids",
+    )
+
+    def __init__(
+        self,
+        terms: list[str],
+        offsets: np.ndarray,
+        doc_ids: np.ndarray,
+        tfs: np.ndarray,
+        scores: np.ndarray,
+        upper_bounds: np.ndarray,
+        block_maxes: np.ndarray,
+        block_offsets: np.ndarray,
+        block_size: int,
+    ) -> None:
+        self.terms = terms
+        self.offsets = offsets
+        self.doc_ids = doc_ids
+        self.tfs = tfs
+        self.scores = scores
+        self.upper_bounds = upper_bounds
+        self.block_maxes = block_maxes
+        self.block_offsets = block_offsets
+        self.block_size = block_size
+        self._term_ids = {term: i for i, term in enumerate(terms)}
+
+    @classmethod
+    def from_shard(cls, shard: "IndexShard") -> "PostingsArena":
+        """Pack a shard's term dictionary into arena columns (build once)."""
+        from repro.index.shard import BLOCK_SIZE
+
+        terms = sorted(shard.terms())
+        n = len(terms)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        block_offsets = np.zeros(n + 1, dtype=np.int64)
+        doc_chunks, tf_chunks, score_chunks, block_chunks = [], [], [], []
+        upper_bounds = np.zeros(n, dtype=np.float64)
+        for i, term in enumerate(terms):
+            entry = shard.term(term)
+            postings = entry.postings
+            offsets[i + 1] = offsets[i] + len(postings)
+            doc_chunks.append(postings.doc_ids)
+            tf_chunks.append(postings.tfs)
+            score_chunks.append(entry.scores)
+            upper_bounds[i] = entry.upper_bound
+            maxes = (
+                entry.block_maxes
+                if entry.block_maxes is not None
+                else np.zeros(0, dtype=np.float64)
+            )
+            block_chunks.append(maxes)
+            block_offsets[i + 1] = block_offsets[i] + maxes.size
+        return cls(
+            terms=terms,
+            offsets=offsets,
+            doc_ids=(
+                np.concatenate(doc_chunks)
+                if doc_chunks else np.zeros(0, dtype=np.int64)
+            ),
+            tfs=(
+                np.concatenate(tf_chunks)
+                if tf_chunks else np.zeros(0, dtype=np.int32)
+            ),
+            scores=(
+                np.concatenate(score_chunks)
+                if score_chunks else np.zeros(0, dtype=np.float64)
+            ),
+            upper_bounds=upper_bounds,
+            block_maxes=(
+                np.concatenate(block_chunks)
+                if block_chunks else np.zeros(0, dtype=np.float64)
+            ),
+            block_offsets=block_offsets,
+            block_size=BLOCK_SIZE,
+        )
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def n_postings(self) -> int:
+        return int(self.offsets[-1])
+
+    def has_term(self, term: str) -> bool:
+        return term in self._term_ids
+
+    def run(self, term: str) -> TermRun | None:
+        """A fresh traversal state for ``term`` (None when absent).
+
+        Each call returns an independent :class:`TermRun` — duplicated
+        query terms traverse separately, exactly like independent
+        cursors.
+        """
+        tid = self._term_ids.get(term)
+        if tid is None:
+            return None
+        lo, hi = int(self.offsets[tid]), int(self.offsets[tid + 1])
+        blo, bhi = int(self.block_offsets[tid]), int(self.block_offsets[tid + 1])
+        return TermRun(
+            term=term,
+            doc_ids=self.doc_ids[lo:hi],
+            tfs=self.tfs[lo:hi],
+            scores=self.scores[lo:hi],
+            upper_bound=float(self.upper_bounds[tid]),
+            block_maxes=self.block_maxes[blo:bhi],
+            block_size=self.block_size,
+            size=hi - lo,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PostingsArena({self.n_terms} terms, {self.n_postings} postings, "
+            f"block_size={self.block_size})"
+        )

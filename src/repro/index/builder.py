@@ -140,6 +140,10 @@ class IndexBuilder:
                 upper_bound=upper,
                 global_doc_freq=df,
             )
+        # Pack the columnar postings arena now, at index time: the shard is
+        # immutable from here on, so the vectorized kernels never pay the
+        # concatenation cost on the query path.
+        shard.arena
         return shard
 
 

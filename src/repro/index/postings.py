@@ -101,7 +101,11 @@ class PostingCursor:
             return END_OF_LIST
         if int(self._doc_ids[self._pos]) >= target:
             return int(self._doc_ids[self._pos])
-        # Gallop: find a bracket [lo, hi) with doc_ids[hi] >= target.
+        # Gallop: find a bracket [lo, hi) with doc_ids[lo] < target and
+        # either doc_ids[hi] >= target or hi == size.  Clamping the exit
+        # bracket to the array tail keeps the invariant airtight: the
+        # bisect below always lands on the answer (or one past the end),
+        # so no fallback over the whole array is ever needed.
         lo = self._pos
         step = 1
         hi = lo + step
@@ -109,16 +113,9 @@ class PostingCursor:
             lo = hi
             step <<= 1
             hi = lo + step
-        hi = min(hi, self._size)
+        if hi > self._size:
+            hi = self._size
         self._pos = lo + int(np.searchsorted(self._doc_ids[lo:hi], target, side="left"))
-        if self._pos >= self._size:
-            # The bracket may end before target is found when target exceeds
-            # everything in [lo, hi) but hi == size.
-            return END_OF_LIST
-        if int(self._doc_ids[self._pos]) < target:
-            self._pos = int(
-                np.searchsorted(self._doc_ids, target, side="left")
-            )
         return self.doc()
 
     def exhausted(self) -> bool:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.index.arena import PostingsArena
 from repro.index.postings import PostingList
 from repro.scoring.similarity import Similarity
 
@@ -77,10 +78,24 @@ class IndexShard:
     similarity: Similarity
     n_docs_global: int = 0
     _terms: dict[str, ShardTerm] = field(default_factory=dict)
+    _arena: PostingsArena | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n_docs_global < self.n_docs:
             self.n_docs_global = self.n_docs
+
+    @property
+    def arena(self) -> PostingsArena:
+        """The columnar postings arena the vectorized kernels search.
+
+        Built once (the index is immutable) and cached; the index builder
+        and the shard loader touch this eagerly so no query pays the
+        packing cost.  Shards assembled by hand (tests) build it lazily on
+        first search.
+        """
+        if self._arena is None:
+            self._arena = PostingsArena.from_shard(self)
+        return self._arena
 
     def has_term(self, term: str) -> bool:
         return term in self._terms

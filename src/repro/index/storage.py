@@ -133,6 +133,9 @@ def load_shard(path: str | Path) -> IndexShard:
                 upper_bound=float(data["upper_bounds"][i]),
                 global_doc_freq=int(data["global_dfs"][i]),
             )
+    # Arena and block-max metadata are derived, not stored: pack them once
+    # here so a loaded shard is query-ready like a freshly built one.
+    shard.arena
     return shard
 
 

@@ -1,0 +1,671 @@
+"""Vectorized retrieval kernels over the columnar postings arena.
+
+These are drop-in replacements for the cursor-based evaluators — same
+hits, same scores (bit for bit, including float-summation order), same
+tie-breaks, and the same ``CostStats`` counters — that replace the
+per-posting Python loops with numpy work on the arena columns of
+:class:`~repro.index.arena.PostingsArena`.
+
+**MaxScore** (:func:`maxscore_search_kernel`) is chunk-scored: candidate
+doc ids are pulled from the essential lists a block at a time, whole
+blocks are scored with ``searchsorted`` + masked gathers, and
+non-essential lists are probed level-by-level with vectorized lookups.
+The only inherently sequential step is the collector offer, because each
+accepted document can raise the top-k threshold that the *next*
+document's pruning decisions depend on.  A batch is therefore consumed
+in *segments*: between two threshold changes every pruning decision is a
+pure function of the constant threshold, so each segment re-runs only
+the cheap vectorized abandonment cascade over a window of remaining
+candidates and replays offers until the threshold moves, at which point
+the next segment restarts the cascade under the new bar.  The expensive
+work — candidate-union construction and essential scoring — happens once
+per batch; only an *essential-split* change (the threshold crossing an
+upper-bound prefix sum, at most once per query term) invalidates the
+candidate stream itself, truncating the batch and rolling list positions
+back to exactly where the scalar loop would stand.  This makes the
+pruning behaviour — ``postings_scored``, ``postings_skipped``,
+``docs_evaluated`` — independent of chunk and window size and
+byte-identical to the reference (a property the test suite checks by
+sweeping chunk sizes down to 1).  Offers whose score cannot beat a full
+heap's threshold are provable no-ops and are pre-filtered away; queries
+whose posting lists are too short to amortize numpy-call overhead
+dispatch to the scalar reference outright (bit-identical by contract).
+
+**WAND**, **Block-Max WAND** and **conjunctive** pruning decisions are
+per-document sequential (every pivot selection/zig-zag step depends on
+the cursor moved by the previous one), so their kernels keep the
+reference control flow but run it over raw arena columns: current doc
+ids are cached as Python ints (one boxing per position change instead of
+one per access), skips are a single ``searchsorted`` over the list tail,
+and no per-query cursor objects or score attachments are allocated.
+
+Float bit-identity holds because every kernel performs the exact same
+sequence of float64 additions per document accumulator as its reference
+— numpy element-wise adds and Python float adds are the same IEEE-754
+operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.arena import TermRun
+from repro.index.postings import END_OF_LIST
+from repro.index.shard import IndexShard
+from repro.retrieval.maxscore import maxscore_search
+from repro.retrieval.result import CostStats, SearchResult
+from repro.retrieval.topk import TopKCollector
+
+__all__ = [
+    "KernelStats",
+    "DEFAULT_CHUNK",
+    "maxscore_search_kernel",
+    "wand_search_kernel",
+    "block_max_wand_search_kernel",
+    "conjunctive_search_kernel",
+]
+
+DEFAULT_CHUNK = 4096
+"""Cap on postings pulled per essential list per scoring block (MaxScore).
+
+The kernel adapts the live block size inside ``[_MIN_CHUNK, chunk]``: it
+halves after a batch truncated by an essential-split change (the
+discarded tail was wasted work) and doubles after a batch that ran to
+completion.  Exactness is chunk-size independent — the equivalence suite
+sweeps fixed sizes down to 1 — so adaptivity is purely a throughput
+knob.
+"""
+
+_MIN_CHUNK = 32
+
+#: Candidate-window bounds per segment of a MaxScore batch.  Between two
+#: threshold changes the cascade's work on candidates past the change
+#: point is discarded, so segments look at a bounded window rather than
+#: the whole remaining batch, and the window adapts the same way the
+#: chunk does: halve when a threshold move truncates the segment, double
+#: when a window completes clean.  Exactness is window-independent.
+_SEG_WINDOW_MIN = 32
+_SEG_WINDOW_MAX = 512
+
+#: Below this many total query postings the scalar reference outruns the
+#: kernel (fixed numpy-call overhead dominates short lists); since both
+#: are bit-identical, MaxScore dispatches on size without observable
+#: effect.
+_KERNEL_MIN_POSTINGS = 2048
+
+_INT64_MAX = int(np.iinfo(np.int64).max)
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class KernelStats:
+    """Optional per-call kernel instrumentation (telemetry counters).
+
+    ``chunks`` counts vectorized scoring segments, ``offers`` the
+    sequential collector offers actually performed (the scalar fallback
+    the chunked kernels cannot avoid, after no-op pre-filtering), and
+    ``threshold_restarts`` how many segments were cut short because an
+    offer moved the top-k threshold.
+    """
+
+    chunks: int = 0
+    offers: int = 0
+    threshold_restarts: int = 0
+
+
+def _sorted_runs(shard: IndexShard, terms: list[str]) -> list[TermRun]:
+    """Term runs sorted by upper bound ascending (MaxScore/WAND order).
+
+    Mirrors ``maxscore._prepare_cursors``: query-term order, missing
+    terms skipped, then a stable sort so upper-bound ties keep query
+    order — the order the reference sums scores in.
+    """
+    arena = shard.arena
+    runs = [run for run in (arena.run(term) for term in terms) if run is not None]
+    runs.sort(key=lambda run: run.upper_bound)
+    return runs
+
+
+def _term_order_runs(shard: IndexShard, terms: list[str]) -> list[TermRun]:
+    """Term runs in query order (Block-Max WAND's cursor order)."""
+    arena = shard.arena
+    return [run for run in (arena.run(term) for term in terms) if run is not None]
+
+
+def _advance_geq(run: TermRun, target: int) -> int:
+    """``PostingCursor.next_geq`` over a run: same landing position, one
+    ``searchsorted`` over the remaining tail instead of a Python gallop."""
+    pos = run.pos
+    if pos >= run.size:
+        return END_OF_LIST
+    doc = int(run.doc_ids[pos])
+    if doc >= target:
+        return doc
+    pos += int(run.doc_ids[pos:].searchsorted(target, side="left"))
+    run.pos = pos
+    if pos >= run.size:
+        return END_OF_LIST
+    return int(run.doc_ids[pos])
+
+
+# --------------------------------------------------------------- MaxScore
+def maxscore_search_kernel(
+    shard: IndexShard,
+    terms: list[str],
+    k: int,
+    chunk: int = DEFAULT_CHUNK,
+    stats: KernelStats | None = None,
+    min_postings: int = _KERNEL_MIN_POSTINGS,
+) -> SearchResult:
+    """Chunk-scored MaxScore, bit-identical to :func:`~repro.retrieval.
+    maxscore.maxscore_search` in hits, scores and cost counters.
+
+    ``min_postings`` sets the scalar-dispatch floor (tests pass 0 to
+    force the vectorized path on small corpora).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    runs = _sorted_runs(shard, terms)
+    collector = TopKCollector(k)
+    cost = CostStats(n_terms=len(terms))
+    if not runs:
+        return SearchResult(hits=[], cost=cost)
+    if min_postings and sum(run.size for run in runs) < min_postings:
+        # Tiny workloads are dominated by per-batch numpy overhead; the
+        # scalar loop is faster there and bit-identical by contract, so
+        # dispatching on size cannot change any observable result.
+        return maxscore_search(shard, terms, k)
+
+    n = len(runs)
+    # prefix[i] = sum of upper bounds of runs[0..i], accumulated exactly
+    # like the reference (Python float adds) so boundary comparisons match.
+    prefix = [0.0] * n
+    acc = 0.0
+    for i, run in enumerate(runs):
+        acc += run.upper_bound
+        prefix[i] = acc
+
+    # Adaptive block size: an essential-split change truncates the batch
+    # and throws the vectorized tail away, so start small, halve after a
+    # truncated batch and double after a clean one ([lo_chunk, chunk]).
+    lo_chunk = chunk if chunk < _MIN_CHUNK else _MIN_CHUNK
+    cur = lo_chunk
+
+    offer = collector.offer
+    get_threshold = collector.threshold
+    threshold = get_threshold()
+    win = _SEG_WINDOW_MIN
+
+    while True:
+        first_essential = n
+        for i in range(n):
+            if prefix[i] >= threshold:
+                first_essential = i
+                break
+        if first_essential >= n:
+            break  # even all lists together cannot reach the threshold
+
+        fe = first_essential
+        essential = runs[fe:]
+
+        # ---- candidate block: the next `cur` postings of every
+        # essential list, truncated to the smallest per-list horizon so
+        # no document <= bound can be missing from the union.
+        bound = _INT64_MAX
+        slices = []
+        for run in essential:
+            lo = run.pos
+            hi = lo + cur
+            if hi > run.size:
+                hi = run.size
+            sl = run.doc_ids[lo:hi]
+            slices.append(sl)
+            if hi < run.size and sl.size:
+                last = int(sl[-1])
+                if last < bound:
+                    bound = last
+
+        if len(slices) == 1:
+            # Single essential list: the slice is already sorted and
+            # unique, and each candidate's essential score is the aligned
+            # entry of the run's score column (a zero-copy view — it is
+            # never mutated, segments copy the suffix they need).
+            candidates = slices[0]
+            if bound != _INT64_MAX:
+                candidates = candidates[
+                    : int(np.searchsorted(candidates, bound, side="right"))
+                ]
+            m = int(candidates.size)
+            if m == 0:
+                break  # the only essential list is exhausted
+            run0 = essential[0]
+            ess_scores = run0.scores[run0.pos : run0.pos + m]
+            scored_cnt = np.ones(m, dtype=np.int64) if fe else None
+        else:
+            merged = np.concatenate(slices)
+            if merged.size == 0:
+                break  # every essential list exhausted: no candidate exists
+            # sort + adjacent-compare dedup (cheaper than np.unique's
+            # hash path on these small blocks).
+            merged.sort()
+            keep = np.empty(merged.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+            candidates = merged[keep]
+            if bound != _INT64_MAX:
+                candidates = candidates[
+                    : int(np.searchsorted(candidates, bound, side="right"))
+                ]
+            m = int(candidates.size)
+
+            ess_scores = np.zeros(m, dtype=np.float64)
+            scored_cnt = np.zeros(m, dtype=np.int64)
+
+            # ---- essential scoring: whole slices at once, run by run in
+            # ascending-upper-bound order (the reference's summation order).
+            for run, sl in zip(essential, slices):
+                end = (
+                    int(np.searchsorted(sl, bound, side="right"))
+                    if bound != _INT64_MAX
+                    else int(sl.size)
+                )
+                if end:
+                    idx = np.searchsorted(candidates, sl[:end])
+                    ess_scores[idx] += run.scores[run.pos : run.pos + end]
+                    scored_cnt[idx] += 1
+
+        # ---- segment loop.  One batch is consumed in segments: between
+        # two threshold changes every pruning decision the scalar makes is
+        # a pure function of the (constant) threshold, so each segment
+        # re-runs the vectorized non-essential cascade over the remaining
+        # suffix and replays offers until the threshold moves again.  The
+        # expensive part — candidate union + essential scoring — happens
+        # once per batch; only an *essential-split* change (threshold
+        # crossing a prefix bound, at most n times per query) invalidates
+        # the candidate stream itself and truncates the batch.
+        ne_base = [runs[j].pos for j in range(fe)]
+        ne_scored = 0
+        seg_start = 0
+        stop = m - 1
+        truncated = False
+        offers_done = 0
+        segments = 0
+        restarts = 0
+        while seg_start < m:
+            fe_now = n
+            for i in range(n):
+                if prefix[i] >= threshold:
+                    fe_now = i
+                    break
+            if fe_now != fe:
+                stop = seg_start - 1
+                truncated = True
+                break
+
+            segments += 1
+            # Windowed suffix: the threshold usually moves again within a
+            # few dozen candidates, so cascading the whole remaining
+            # suffix would mostly be discarded — cap the segment at
+            # `win` candidates (exactness is window-independent, like
+            # chunk-independence).
+            seg_end = seg_start + win
+            if seg_end > m:
+                seg_end = m
+            cand_suf = candidates[seg_start:seg_end]
+
+            # Non-essential cascade, largest bound first: one vectorized
+            # probe per level over the suffix candidates still alive.
+            seg_records: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+            alive = None
+            if fe:
+                seg_scores = ess_scores[seg_start:seg_end].copy()
+                for j in range(fe - 1, -1, -1):
+                    run = runs[j]
+                    cond = seg_scores + prefix[j] >= threshold
+                    if alive is None:
+                        alive = cond
+                    else:
+                        alive &= cond
+                    probe_rel = alive.nonzero()[0]
+                    if probe_rel.size == 0:
+                        break  # alive only shrinks: deeper levels are dead
+                    cand_j = cand_suf[probe_rel]
+                    pj = ne_base[j]
+                    lands = pj + run.doc_ids[pj:].searchsorted(cand_j, side="left")
+                    match = run.doc_ids[np.minimum(lands, run.size - 1)] == cand_j
+                    match &= lands < run.size
+                    if match.any():
+                        seg_scores[probe_rel[match]] += run.scores[lands[match]]
+                    seg_records.append((j, probe_rel, lands, match))
+            else:
+                seg_scores = ess_scores[seg_start:seg_end]
+
+            # Offers in doc order.  With a full heap an offer whose score
+            # is below the threshold is a guaranteed no-op rejection —
+            # (score, -doc) cannot beat (threshold, -top_doc) — so those
+            # calls are pre-filtered, leaving the collector bit-identical.
+            if threshold != _NEG_INF:
+                eligible = seg_scores >= threshold
+                if alive is not None:
+                    eligible &= alive
+                offer_rel = eligible.nonzero()[0]
+            else:
+                # Heap not yet full: threshold == -inf forces fe == 0 (no
+                # non-essential lists) and every offer can enter.
+                offer_rel = None
+
+            seg_stop_rel = int(cand_suf.size) - 1
+            changed = False
+            for i in range(cand_suf.size) if offer_rel is None else offer_rel:
+                offer(int(cand_suf[i]), float(seg_scores[i]))
+                offers_done += 1
+                new_threshold = get_threshold()
+                if new_threshold != threshold:
+                    threshold = new_threshold
+                    i = int(i)
+                    if seg_start + i < m - 1:
+                        changed = True
+                        seg_stop_rel = i
+                    break
+
+            # Per-segment non-essential counters and probe-base advance,
+            # truncated at the segment's last processed candidate.
+            for j, probe_rel, lands, match in seg_records:
+                r = (
+                    int(probe_rel.size)
+                    if not changed
+                    else int(probe_rel.searchsorted(seg_stop_rel, side="right"))
+                )
+                if r == 0:
+                    continue  # no surviving candidate processed this level
+                last = r - 1
+                matched = int(np.count_nonzero(match[:r]))
+                last_match = int(match[last])
+                cost.postings_skipped += (
+                    int(lands[last]) - ne_base[j] - (matched - last_match)
+                )
+                ne_base[j] = int(lands[last]) + last_match
+                ne_scored += matched
+            if changed:
+                restarts += 1
+                seg_start = seg_start + seg_stop_rel + 1
+                if win > _SEG_WINDOW_MIN:
+                    win >>= 1
+            else:
+                if win < _SEG_WINDOW_MAX:
+                    win <<= 1
+                if seg_end >= m:
+                    break  # final window processed: the batch is complete
+                seg_start = seg_end  # window done, threshold unchanged
+
+        # ---- counters and cursor positions up to the stopping candidate.
+        if stop >= 0:
+            stop_doc = int(candidates[stop])
+            cost.docs_evaluated += stop + 1
+            cost.postings_scored += ne_scored + (
+                stop + 1 if scored_cnt is None else int(scored_cnt[: stop + 1].sum())
+            )
+            for run in essential:
+                p0 = run.pos
+                run.pos = p0 + int(
+                    np.searchsorted(run.doc_ids[p0:], stop_doc, side="right")
+                )
+            for j in range(fe):
+                runs[j].pos = ne_base[j]
+        if stats is not None:
+            stats.chunks += segments
+            stats.offers += offers_done
+            stats.threshold_restarts += restarts + (1 if truncated else 0)
+        cur = (cur >> 1) if truncated else (cur << 1)
+        if cur < lo_chunk:
+            cur = lo_chunk
+        elif cur > chunk:
+            cur = chunk
+
+    return SearchResult(hits=collector.results(), cost=cost)
+
+
+# ------------------------------------------------------------------- WAND
+def wand_search_kernel(
+    shard: IndexShard,
+    terms: list[str],
+    k: int,
+    stats: KernelStats | None = None,
+) -> SearchResult:
+    """Arena-backed WAND, bit-identical to :func:`~repro.retrieval.wand.
+    wand_search`.
+
+    WAND's pivot selection is inherently per-document sequential — each
+    pivot depends on the cursor the previous iteration moved — so there
+    is no chunk to score.  The kernel instead strips the per-posting
+    overhead: doc ids are cached as ints, the cursor re-sort runs on
+    plain ints, and skips are single tail ``searchsorted`` calls.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    runs = _sorted_runs(shard, terms)
+    collector = TopKCollector(k)
+    cost = CostStats(n_terms=len(terms))
+    if not runs:
+        return SearchResult(hits=[], cost=cost)
+
+    docs = [int(run.doc_ids[0]) if run.size else END_OF_LIST for run in runs]
+    ubs = [run.upper_bound for run in runs]
+    order = list(range(len(runs)))
+
+    while True:
+        order.sort(key=docs.__getitem__)  # stable: mirrors cursors.sort
+        if docs[order[0]] == END_OF_LIST:
+            break
+        threshold = collector.threshold()
+
+        acc = 0.0
+        pivot_at = -1
+        for oi in range(len(order)):
+            i = order[oi]
+            if docs[i] == END_OF_LIST:
+                break
+            acc += ubs[i]
+            if acc >= threshold:
+                pivot_at = oi
+                break
+        if pivot_at < 0:
+            break
+        pivot_doc = docs[order[pivot_at]]
+
+        if docs[order[0]] == pivot_doc:
+            score = 0.0
+            for i in order:
+                if docs[i] != pivot_doc:
+                    break
+                run = runs[i]
+                score += float(run.scores[run.pos])
+                cost.postings_scored += 1
+                run.pos += 1
+                docs[i] = (
+                    int(run.doc_ids[run.pos])
+                    if run.pos < run.size
+                    else END_OF_LIST
+                )
+            cost.docs_evaluated += 1
+            collector.offer(pivot_doc, score)
+            if stats is not None:
+                stats.offers += 1
+        else:
+            i = order[0]
+            run = runs[i]
+            before = run.pos
+            docs[i] = _advance_geq(run, pivot_doc)
+            cost.postings_skipped += run.pos - before
+
+    return SearchResult(hits=collector.results(), cost=cost)
+
+
+# --------------------------------------------------------- Block-Max WAND
+def block_max_wand_search_kernel(
+    shard: IndexShard,
+    terms: list[str],
+    k: int,
+    stats: KernelStats | None = None,
+) -> SearchResult:
+    """Arena-backed Block-Max WAND, bit-identical to
+    :func:`~repro.retrieval.block_max_wand.block_max_wand_search`."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    runs = _term_order_runs(shard, terms)
+    collector = TopKCollector(k)
+    cost = CostStats(n_terms=len(terms))
+    if not runs:
+        return SearchResult(hits=[], cost=cost)
+
+    docs = [int(run.doc_ids[0]) if run.size else END_OF_LIST for run in runs]
+    ubs = [run.upper_bound for run in runs]
+    order = list(range(len(runs)))
+    block_size = runs[0].block_size
+
+    while True:
+        order.sort(key=docs.__getitem__)
+        if docs[order[0]] == END_OF_LIST:
+            break
+        threshold = collector.threshold()
+
+        # Stage 1 — WAND pivot from global upper bounds.
+        acc = 0.0
+        pivot_at = -1
+        for oi in range(len(order)):
+            i = order[oi]
+            if docs[i] == END_OF_LIST:
+                break
+            acc += ubs[i]
+            if acc >= threshold:
+                pivot_at = oi
+                break
+        if pivot_at < 0:
+            break
+        pivot_doc = docs[order[pivot_at]]
+
+        if docs[order[0]] != pivot_doc:
+            i = order[0]
+            run = runs[i]
+            before = run.pos
+            docs[i] = _advance_geq(run, pivot_doc)
+            cost.postings_skipped += run.pos - before
+            continue
+
+        # Stage 2 — refine with block maxima over the pivot set (the
+        # prefix of cursors sitting on pivot_doc).
+        pivot_end = 0
+        while pivot_end < len(order) and docs[order[pivot_end]] == pivot_doc:
+            pivot_end += 1
+        pivot_set = order[:pivot_end]
+
+        block_ub = sum(
+            float(runs[i].block_maxes[runs[i].pos // block_size])
+            for i in pivot_set
+        )
+        if block_ub >= threshold:
+            score = 0.0
+            for i in pivot_set:
+                run = runs[i]
+                score += float(run.scores[run.pos])
+                cost.postings_scored += 1
+                run.pos += 1
+                docs[i] = (
+                    int(run.doc_ids[run.pos])
+                    if run.pos < run.size
+                    else END_OF_LIST
+                )
+            cost.docs_evaluated += 1
+            collector.offer(pivot_doc, score)
+            if stats is not None:
+                stats.offers += 1
+        else:
+            boundary = _INT64_MAX
+            for i in pivot_set:
+                run = runs[i]
+                block = run.pos // block_size
+                end = min((block + 1) * block_size, run.size) - 1
+                last_doc = int(run.doc_ids[end])
+                if last_doc < boundary:
+                    boundary = last_doc
+            target = max(boundary, pivot_doc) + 1
+            if pivot_end < len(order):
+                next_doc = docs[order[pivot_end]]
+                if next_doc != END_OF_LIST:
+                    target = min(target, next_doc)
+            target = max(target, pivot_doc + 1)
+            for i in pivot_set:
+                if docs[i] < target:
+                    run = runs[i]
+                    before = run.pos
+                    docs[i] = _advance_geq(run, target)
+                    cost.postings_skipped += run.pos - before
+
+    return SearchResult(hits=collector.results(), cost=cost)
+
+
+# ------------------------------------------------------------ conjunctive
+def conjunctive_search_kernel(
+    shard: IndexShard,
+    terms: list[str],
+    k: int,
+    stats: KernelStats | None = None,
+) -> SearchResult:
+    """Arena-backed zig-zag intersection, bit-identical to
+    :func:`~repro.retrieval.conjunctive.conjunctive_search`."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    cost = CostStats(n_terms=len(terms))
+    if not terms:
+        return SearchResult(hits=[], cost=cost)
+
+    arena = shard.arena
+    runs = []
+    for term in terms:
+        run = arena.run(term)
+        if run is None:
+            return SearchResult(hits=[], cost=cost)  # missing term empties the AND
+        runs.append(run)
+    runs.sort(key=lambda run: run.size)  # drive from the rarest term
+
+    collector = TopKCollector(k)
+    driver = runs[0]
+    candidate = int(driver.doc_ids[0]) if driver.size else END_OF_LIST
+    while candidate != END_OF_LIST:
+        aligned = True
+        for run in runs[1:]:
+            before = run.pos
+            doc = _advance_geq(run, candidate)
+            cost.postings_skipped += run.pos - before
+            if doc != candidate:
+                aligned = False
+                target = doc if doc != END_OF_LIST else candidate + 1
+                before = driver.pos
+                candidate = _advance_geq(driver, target)
+                cost.postings_skipped += driver.pos - before
+                break
+        if not aligned:
+            if any(run.pos >= run.size for run in runs):
+                break
+            continue
+        score = 0.0
+        for run in runs:
+            score += float(run.scores[run.pos])
+            cost.postings_scored += 1
+        cost.docs_evaluated += 1
+        collector.offer(candidate, score)
+        if stats is not None:
+            stats.offers += 1
+        driver.pos += 1
+        candidate = (
+            int(driver.doc_ids[driver.pos])
+            if driver.pos < driver.size
+            else END_OF_LIST
+        )
+
+    return SearchResult(hits=collector.results(), cost=cost)

@@ -15,8 +15,16 @@ from typing import Callable
 
 from repro.index.shard import IndexShard
 from repro.retrieval.block_max_wand import block_max_wand_search
+from repro.retrieval.conjunctive import conjunctive_search
 from repro.retrieval.executor import SerialExecutor, ShardExecutor
 from repro.retrieval.exhaustive import exhaustive_search, exhaustive_search_daat
+from repro.retrieval.kernels import (
+    KernelStats,
+    block_max_wand_search_kernel,
+    conjunctive_search_kernel,
+    maxscore_search_kernel,
+    wand_search_kernel,
+)
 from repro.retrieval.maxscore import maxscore_search
 from repro.retrieval.query import Query
 from repro.retrieval.result import SearchResult, merge_results
@@ -25,10 +33,24 @@ from repro.retrieval.wand import wand_search
 STRATEGIES: dict[str, Callable[[IndexShard, list[str], int], SearchResult]] = {
     "exhaustive": exhaustive_search,
     "exhaustive_daat": exhaustive_search_daat,
-    "maxscore": maxscore_search,
-    "wand": wand_search,
-    "block_max_wand": block_max_wand_search,
+    # The pruning strategies dispatch to the vectorized arena kernels;
+    # the cursor-based evaluators stay registered as *_reference — they
+    # are the bit-identity ground truth the kernels are tested against.
+    "maxscore": maxscore_search_kernel,
+    "maxscore_reference": maxscore_search,
+    "wand": wand_search_kernel,
+    "wand_reference": wand_search,
+    "block_max_wand": block_max_wand_search_kernel,
+    "block_max_wand_reference": block_max_wand_search,
+    "conjunctive": conjunctive_search_kernel,
+    "conjunctive_reference": conjunctive_search,
 }
+
+#: Strategies implemented in :mod:`repro.retrieval.kernels` — they accept
+#: a ``stats=KernelStats()`` kwarg for telemetry instrumentation.
+KERNEL_STRATEGIES = frozenset(
+    {"maxscore", "wand", "block_max_wand", "conjunctive"}
+)
 
 CacheKey = tuple[tuple[str, ...], int, str]
 
@@ -101,6 +123,31 @@ class ShardSearcher:
         self._lock = threading.Lock()
         self._hits = 0
         self._computations = 0
+        # Telemetry, rebound per run (see bind_telemetry).  Spans are only
+        # emitted from the binding thread so a parallel prewarm cannot
+        # interleave begin/end events on one track; the counters use plain
+        # unlocked adds everywhere (they can undercount under races,
+        # never overcount — the same contract as the memo-cache hits).
+        self._tracer = None
+        self._telemetry_thread = 0
+        self._m_chunks = None
+        self._m_offers = None
+        self._m_restarts = None
+
+    def bind_telemetry(self, telemetry: object) -> None:
+        """Attach a run's telemetry session to subsequent kernel calls."""
+        if telemetry.enabled:
+            self._tracer = telemetry.tracer
+            self._telemetry_thread = threading.get_ident()
+            metrics = telemetry.metrics
+            self._m_chunks = metrics.counter("retrieval.kernel.chunks")
+            self._m_offers = metrics.counter("retrieval.kernel.offers")
+            self._m_restarts = metrics.counter(
+                "retrieval.kernel.threshold_restarts"
+            )
+        else:
+            self._tracer = None
+            self._m_chunks = self._m_offers = self._m_restarts = None
 
     def cache_key(self, query: Query) -> CacheKey:
         return (query.terms, self.k, self.strategy)
@@ -137,7 +184,7 @@ class ShardSearcher:
             return pending.wait()
         strategy = STRATEGIES[key[2]]
         try:
-            result = strategy(self.shard, list(query.terms), key[1])
+            result = self._evaluate(strategy, key, query)
         except BaseException as exc:
             pending.publish(None, exc)
             with self._lock:
@@ -150,6 +197,40 @@ class ShardSearcher:
         pending.publish(result, None)
         with self._lock:
             self._pending.pop(key, None)
+        return result
+
+    def _evaluate(
+        self,
+        strategy: Callable[[IndexShard, list[str], int], SearchResult],
+        key: CacheKey,
+        query: Query,
+    ) -> SearchResult:
+        """Run the strategy, recording kernel telemetry when bound.
+
+        Kernel executions get a ``retrieval.kernel`` span on the shard's
+        ``retrieval.<id>`` track plus chunk/offer/restart counters;
+        everything is skipped (one attribute test) when telemetry is off.
+        """
+        tracer = self._tracer
+        if tracer is None or key[2] not in KERNEL_STRATEGIES:
+            return strategy(self.shard, list(query.terms), key[1])
+        kstats = KernelStats()
+        if threading.get_ident() == self._telemetry_thread:
+            with tracer.span(
+                "retrieval.kernel",
+                track=f"retrieval.{self.shard.shard_id}",
+                strategy=key[2], k=key[1], n_terms=len(query.terms),
+            ) as span:
+                result = strategy(
+                    self.shard, list(query.terms), key[1], stats=kstats
+                )
+                span.attrs["chunks"] = kstats.chunks
+                span.attrs["offers"] = kstats.offers
+        else:
+            result = strategy(self.shard, list(query.terms), key[1], stats=kstats)
+        self._m_chunks.add(kstats.chunks)
+        self._m_offers.add(kstats.offers)
+        self._m_restarts.add(kstats.threshold_restarts)
         return result
 
     def search_terms(self, terms: list[str]) -> SearchResult:
@@ -182,6 +263,11 @@ class DistributedSearcher:
     def n_shards(self) -> int:
         return len(self.searchers)
 
+    def bind_telemetry(self, telemetry: object) -> None:
+        """Forward a run's telemetry session to every shard searcher."""
+        for searcher in self.searchers:
+            searcher.bind_telemetry(telemetry)
+
     def search_shard(self, shard_id: int, query: Query) -> SearchResult:
         return self.searchers[shard_id].search(query)
 
@@ -204,20 +290,25 @@ class DistributedSearcher:
         This is the paper's definition of an ISN's quality: "the number of
         documents it reports that will be included in the final top-K
         results".
+
+        One search per shard feeds both the per-shard contribution sets
+        and the global merge.  A document that more than one shard could
+        claim (impossible under disjoint partitioning, where every doc id
+        lives on exactly one shard) is attributed to the **lowest shard
+        id** — a deterministic "first shard wins" rule, so labels cannot
+        depend on iteration order.
         """
         k = k or self.k
         if k > self.k:
             raise ValueError("contribution k cannot exceed the searcher's k")
-        per_shard = {
-            sid: set(self.searchers[sid].search(query).doc_ids()[:k])
-            for sid in range(self.n_shards)
-        }
-        merged = merge_results(
-            [self.searchers[sid].search(query) for sid in range(self.n_shards)], k
-        )
+        per_shard = [
+            self.searchers[sid].search(query) for sid in range(self.n_shards)
+        ]
+        merged = merge_results(per_shard, k)
+        top_docs = [set(result.doc_ids()[:k]) for result in per_shard]
         counts = {sid: 0 for sid in range(self.n_shards)}
         for doc_id, _ in merged.hits[:k]:
-            for sid, docs in per_shard.items():
+            for sid, docs in enumerate(top_docs):  # ascending: first shard wins
                 if doc_id in docs:
                     counts[sid] += 1
                     break

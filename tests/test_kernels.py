@@ -1,0 +1,192 @@
+"""Bit-identity of the arena kernels against their scalar references.
+
+Stronger than ``test_strategy_equivalence.py``'s tolerance-based check:
+each block-scored kernel must reproduce its cursor-based reference
+*exactly* — same hits, same float64 scores (same summation order), same
+tie order, and every ``CostStats`` counter equal — on any Hypothesis
+corpus.  ``SearchResult.fingerprint()`` captures all of that in one
+string.  MaxScore forces the vectorized path with ``min_postings=0``
+(the dispatch floor would otherwise route these small corpora to the
+scalar and the test would vacuously pass) and sweeps fixed chunk sizes
+down to 1, since exactness must be chunk-size independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index import Document, IndexBuilder
+from repro.retrieval import (
+    KernelStats,
+    block_max_wand_search,
+    block_max_wand_search_kernel,
+    conjunctive_search,
+    conjunctive_search_kernel,
+    maxscore_search,
+    maxscore_search_kernel,
+    wand_search,
+    wand_search_kernel,
+)
+from repro.text import WhitespaceAnalyzer
+
+
+def forced_maxscore_kernel(shard, terms, k):
+    return maxscore_search_kernel(shard, terms, k, min_postings=0)
+
+
+PAIRS = {
+    "maxscore": (maxscore_search, forced_maxscore_kernel),
+    "wand": (wand_search, wand_search_kernel),
+    "block_max_wand": (block_max_wand_search, block_max_wand_search_kernel),
+    "conjunctive": (conjunctive_search, conjunctive_search_kernel),
+}
+
+VOCAB = [f"w{i}" for i in range(12)]
+
+documents = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=25),
+    min_size=1,
+    max_size=40,
+)
+
+queries = st.lists(
+    st.sampled_from(VOCAB + ["oov_a", "oov_b"]), min_size=0, max_size=5
+)
+
+ks = st.integers(min_value=1, max_value=60)
+
+
+def build_shard(word_lists: list[list[str]]):
+    builder = IndexBuilder(0, analyzer=WhitespaceAnalyzer())
+    for doc_id, words in enumerate(word_lists):
+        builder.add(Document(doc_id=doc_id, text=" ".join(words)))
+    return builder.build()
+
+
+class TestBitIdentity:
+    @given(docs=documents, query=queries, k=ks)
+    def test_kernels_match_references_exactly(self, docs, query, k):
+        shard = build_shard(docs)
+        for reference, kernel in PAIRS.values():
+            assert (
+                kernel(shard, list(query), k).fingerprint()
+                == reference(shard, list(query), k).fingerprint()
+            )
+
+    @given(
+        docs=documents,
+        query=queries,
+        k=ks,
+        chunk=st.sampled_from([1, 2, 3, 7, 33, 64, 1024, 4096]),
+    )
+    def test_maxscore_exact_for_any_chunk_size(self, docs, query, k, chunk):
+        """Batch boundaries are invisible: chunk=1 degenerates to one
+        candidate per block and must still reproduce the reference."""
+        shard = build_shard(docs)
+        reference = maxscore_search(shard, list(query), k)
+        kernel = maxscore_search_kernel(
+            shard, list(query), k, chunk=chunk, min_postings=0
+        )
+        assert kernel.fingerprint() == reference.fingerprint()
+
+    @given(docs=documents, query=queries, k=ks)
+    def test_maxscore_dispatch_is_transparent(self, docs, query, k):
+        """Below the postings floor the kernel dispatches to the scalar;
+        with the default floor the result must be identical either way."""
+        shard = build_shard(docs)
+        assert (
+            maxscore_search_kernel(shard, list(query), k).fingerprint()
+            == maxscore_search(shard, list(query), k).fingerprint()
+        )
+
+
+class TestExplicitEdgeCases:
+    @pytest.fixture(scope="class")
+    def shard(self):
+        return build_shard(
+            [[VOCAB[min(j, i % 12)] for j in range(i % 7 + 1)] for i in range(50)]
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_empty_query(self, shard, name):
+        _, kernel = PAIRS[name]
+        result = kernel(shard, [], 10)
+        assert result.hits == []
+        assert result.cost.n_terms == 0
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_all_terms_oov(self, shard, name):
+        reference, kernel = PAIRS[name]
+        query = ["nope", "missing"]
+        assert (
+            kernel(shard, query, 10).fingerprint()
+            == reference(shard, query, 10).fingerprint()
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_duplicate_terms(self, shard, name):
+        reference, kernel = PAIRS[name]
+        query = ["w0", "w0", "w1", "w1", "w1"]
+        assert (
+            kernel(shard, query, 10).fingerprint()
+            == reference(shard, query, 10).fingerprint()
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_k_larger_than_corpus(self, shard, name):
+        reference, kernel = PAIRS[name]
+        assert (
+            kernel(shard, ["w0", "w1"], 10_000).fingerprint()
+            == reference(shard, ["w0", "w1"], 10_000).fingerprint()
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_single_doc_shard(self, name):
+        reference, kernel = PAIRS[name]
+        shard = build_shard([["w0", "w1", "w0"]])
+        assert (
+            kernel(shard, ["w0", "w1"], 5).fingerprint()
+            == reference(shard, ["w0", "w1"], 5).fingerprint()
+        )
+
+    @pytest.mark.parametrize("name", sorted(PAIRS))
+    def test_k_must_be_positive(self, shard, name):
+        _, kernel = PAIRS[name]
+        with pytest.raises(ValueError):
+            kernel(shard, ["w0"], 0)
+
+
+class TestKernelStats:
+    def test_maxscore_populates_stats(self):
+        shard = build_shard(
+            [[VOCAB[(i + j) % 12] for j in range(i % 9 + 1)] for i in range(80)]
+        )
+        stats = KernelStats()
+        result = maxscore_search_kernel(
+            shard, ["w0", "w1", "w2"], 5, stats=stats, min_postings=0
+        )
+        assert result.hits
+        assert stats.chunks > 0
+        assert stats.offers >= len(result.hits)
+        assert stats.threshold_restarts >= 0
+
+    def test_stats_accumulate_across_calls(self):
+        shard = build_shard([["w0", "w1"], ["w0"], ["w1", "w2"]])
+        stats = KernelStats()
+        maxscore_search_kernel(shard, ["w0", "w1"], 2, stats=stats, min_postings=0)
+        first = stats.chunks
+        maxscore_search_kernel(shard, ["w0", "w1"], 2, stats=stats, min_postings=0)
+        assert stats.chunks == 2 * first
+
+    def test_sequential_kernels_accept_stats(self):
+        shard = build_shard([["w0", "w1"], ["w0"], ["w1"]])
+        for kernel in (
+            wand_search_kernel,
+            block_max_wand_search_kernel,
+            conjunctive_search_kernel,
+        ):
+            stats = KernelStats()
+            kernel(shard, ["w0", "w1"], 2, stats=stats)
+            assert stats.offers >= 0

@@ -196,3 +196,34 @@ def test_full_walk_visits_everything(doc_ids):
         walked.append(cursor.doc())
         cursor.next()
     assert walked == doc_ids
+
+
+def test_next_geq_gallop_never_bisects_full_array(monkeypatch):
+    """Regression: the gallop's exit bracket is clamped to the array tail,
+    so the bisect always runs on the bracketed slice.  An earlier version
+    fell back to bisecting the *whole* array when the gallop overshot,
+    which silently degraded long-range skips from O(log gap) to
+    O(log n) — invisible to correctness tests, so pin the slice sizes.
+    """
+    doc_ids = list(range(0, 4000, 3))
+    full = len(doc_ids)
+    cursor = make_list(doc_ids).cursor()
+    assert cursor.next_geq(7) == 9  # move off position 0 first
+
+    recorded = []
+    real = np.searchsorted
+
+    def recording(a, v, side="left", sorter=None):
+        recorded.append(int(np.asarray(a).size))
+        return real(a, v, side=side, sorter=sorter)
+
+    monkeypatch.setattr(np, "searchsorted", recording)
+
+    position = cursor.position
+    for target in (10, 400, 1501, 3998, 5000):
+        while position < full and doc_ids[position] < target:
+            position += 1
+        expected = doc_ids[position] if position < full else END_OF_LIST
+        assert cursor.next_geq(target) == expected
+    assert recorded, "skips above should have galloped + bisected"
+    assert all(size < full for size in recorded)

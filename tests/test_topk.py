@@ -89,3 +89,66 @@ def test_threshold_is_kth_best(scores, k):
         assert collector.threshold() == float("-inf")
     else:
         assert collector.threshold() == heapq.nlargest(k, scores)[-1]
+
+
+class TestThresholdTieSemantics:
+    """The heap-boundary tie rules the kernels' offer pre-filter relies on.
+
+    The vectorized kernels skip collector offers with score strictly
+    below the threshold on the grounds that they are guaranteed no-ops;
+    scores *equal* to the threshold must still be offered because the
+    doc-id tie-break can admit them.  These tests pin both halves of
+    that contract at the exact boundary.
+    """
+
+    def test_equal_score_smaller_doc_enters_full_heap(self):
+        collector = TopKCollector(2)
+        assert collector.offer(10, 1.0)
+        assert collector.offer(20, 1.0)
+        # Ties threshold, smaller id than the incumbent root (doc 20).
+        assert collector.offer(15, 1.0)
+        assert collector.results() == [(10, 1.0), (15, 1.0)]
+        assert collector.threshold() == 1.0
+
+    def test_equal_score_larger_doc_is_rejected(self):
+        collector = TopKCollector(2)
+        collector.offer(10, 1.0)
+        collector.offer(20, 1.0)
+        assert not collector.offer(30, 1.0)
+        assert collector.results() == [(10, 1.0), (20, 1.0)]
+
+    def test_below_threshold_offer_is_a_noop(self):
+        """The pre-filter theorem: score < threshold cannot change the
+        heap, whatever its doc id."""
+        collector = TopKCollector(2)
+        collector.offer(10, 2.0)
+        collector.offer(20, 1.0)
+        before = collector.results()
+        assert not collector.offer(0, 1.0 - 1e-12)
+        assert collector.results() == before
+        assert collector.threshold() == 1.0
+
+    def test_threshold_unchanged_by_equal_score_replacement(self):
+        """An admitted tie replaces the root but leaves the threshold
+        float identical — the kernels compare thresholds by value to
+        decide whether a segment restart is needed."""
+        collector = TopKCollector(2)
+        collector.offer(10, 1.0)
+        collector.offer(20, 1.0)
+        before = collector.threshold()
+        assert collector.offer(15, 1.0)
+        assert collector.threshold() == before
+
+    def test_would_enter_admits_exact_tie(self):
+        collector = TopKCollector(1)
+        collector.offer(5, 3.0)
+        assert collector.would_enter(3.0)
+        assert not collector.would_enter(3.0 - 1e-12)
+
+    def test_threshold_is_minus_inf_until_kth_insert(self):
+        collector = TopKCollector(3)
+        collector.offer(1, 5.0)
+        collector.offer(2, 4.0)
+        assert collector.threshold() == float("-inf")
+        collector.offer(3, 3.0)
+        assert collector.threshold() == 3.0
