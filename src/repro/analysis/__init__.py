@@ -1,0 +1,59 @@
+"""simlint — static analysis for the repo's determinism invariants.
+
+The evaluation only means something because every run is a pure function
+of (seed, configuration): kernel variants are bit-identical to their
+references, the sim-clock never sees wall time, and tie-order is total.
+``repro.analysis`` turns those conventions into machine-checked rules —
+an ``ast``-visitor engine (:mod:`repro.analysis.engine`), a rule
+registry (:mod:`repro.analysis.registry`), the seven-rule catalogue
+(:mod:`repro.analysis.rules`), a content-hash result cache, pragma
+suppression, and a committed baseline for grandfathered findings.
+
+Run it as ``repro lint src/repro`` (exit 0 clean / 1 findings /
+2 internal error), or call :func:`run_lint` directly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers the catalogue)
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import (
+    DEFAULT_BASELINE_NAME,
+    DEFAULT_CACHE_NAME,
+    LintEngine,
+    discover_files,
+    module_path_of,
+    parse_pragmas,
+    run_lint,
+)
+from repro.analysis.findings import Finding, LintError, LintReport
+from repro.analysis.registry import (
+    ANALYZER_VERSION,
+    FileContext,
+    Rule,
+    all_rules,
+    get_rules,
+    register,
+    rules_signature,
+)
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_NAME",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "discover_files",
+    "get_rules",
+    "module_path_of",
+    "parse_pragmas",
+    "register",
+    "rules_signature",
+    "run_lint",
+]

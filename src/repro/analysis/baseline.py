@@ -1,0 +1,93 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+A baseline lets the linter land with rules stricter than the tree —
+existing violations are recorded once, new ones still fail.  This repo's
+policy (ISSUE 5) is stronger: every true positive gets *fixed* (or
+pragma'd with a justification), so the committed baseline ships empty
+and the file mostly documents the workflow:
+
+* ``repro lint --write-baseline`` snapshots the current findings;
+* a later run reports only findings *not* in the snapshot;
+* fixing a grandfathered finding does not fail anything (matching is a
+  multiset: unused baseline entries are simply ignored, and
+  ``stale_entries`` reports them so the baseline can be re-shrunk).
+
+Entries are keyed on the line-free :meth:`Finding.fingerprint` with an
+occurrence count, so unrelated edits that move code around neither break
+the match nor let a *second* identical violation hide behind the first.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+_BASELINE_FORMAT = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Counter[str] | None = None) -> None:
+        self.counts: Counter[str] = counts or Counter()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("format") != _BASELINE_FORMAT:
+            raise ValueError(f"{path}: not a simlint baseline file")
+        raw = data.get("findings", {})
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: malformed 'findings' table")
+        counts: Counter[str] = Counter()
+        for fingerprint, count in raw.items():
+            counts[str(fingerprint)] = int(count)
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(Counter(finding.fingerprint() for finding in findings))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "format": _BASELINE_FORMAT,
+            "findings": dict(sorted(self.counts.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (new, n_suppressed) against this baseline.
+
+        Findings are consumed in report order: with N baselined copies of
+        a fingerprint, the first N occurrences are suppressed and any
+        further ones are new.
+        """
+        budget = Counter(self.counts)
+        fresh: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if budget[fingerprint] > 0:
+                budget[fingerprint] -= 1
+                suppressed += 1
+            else:
+                fresh.append(finding)
+        return fresh, suppressed
+
+    def stale_entries(self, findings: list[Finding]) -> list[str]:
+        """Baseline fingerprints no longer matched by any finding."""
+        present = Counter(finding.fingerprint() for finding in findings)
+        return sorted(
+            fingerprint
+            for fingerprint, count in self.counts.items()
+            if present[fingerprint] < count
+        )
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,97 @@
+"""Per-file result cache, keyed on content hash.
+
+Rules are pure functions of a file's text (pragma comments included), so
+a file whose SHA-256 is unchanged under the same rule set must produce
+the same findings — the cache just stores them.  A warm run over
+``src/repro`` is then pure hashing plus one JSON load, which is what
+keeps ``repro lint`` fast enough to sit in front of every test job.
+
+The cache file is an implementation detail (gitignored), versioned by
+the rules signature: enabling a different rule subset or bumping
+``ANALYZER_VERSION`` invalidates every entry at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+_CACHE_FORMAT = 1
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Load-once / save-once JSON cache of per-file findings."""
+
+    def __init__(self, path: Path | None, rules_signature: str) -> None:
+        self.path = path
+        self.rules_signature = rules_signature
+        self.hits = 0
+        self._entries: dict[str, dict[str, object]] = {}
+        self._dirty = False
+        if path is not None:
+            self._entries = self._load(path)
+
+    def _load(self, path: Path) -> dict[str, dict[str, object]]:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != _CACHE_FORMAT
+            or data.get("rules") != self.rules_signature
+        ):
+            return {}
+        files = data.get("files")
+        return files if isinstance(files, dict) else {}
+
+    def get(self, rel_path: str, source_hash: str) -> list[Finding] | None:
+        """Cached findings for this exact file content, or None."""
+        entry = self._entries.get(rel_path)
+        if entry is None or entry.get("hash") != source_hash:
+            return None
+        raw = entry.get("findings")
+        if not isinstance(raw, list):
+            return None
+        try:
+            findings = [Finding.from_json(item) for item in raw]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, rel_path: str, source_hash: str, findings: list[Finding]) -> None:
+        self._entries[rel_path] = {
+            "hash": source_hash,
+            "findings": [finding.to_json() for finding in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist (best effort — a read-only FS is not an error)."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "format": _CACHE_FORMAT,
+            "rules": self.rules_signature,
+            "files": self._entries,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, self.path)
+        except OSError:
+            pass

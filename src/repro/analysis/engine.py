@@ -1,0 +1,223 @@
+"""The simlint engine: file discovery, parsing, pragmas, cache, baseline.
+
+The pipeline per file::
+
+    read -> sha256 -> cache hit?  ------------------------------> findings
+                 \\-> miss: ast.parse -> run applicable rules
+                          -> drop pragma-suppressed lines -> cache.put
+
+and per run: findings from all files, sorted, minus the baseline.
+
+Pragma syntax (suppression is part of the file content, so it is
+hash-stable and cacheable)::
+
+    expr_using_wall_clock()  # simlint: disable=DET-CLOCK -- why it is ok
+    another()                # simlint: disable=DET-RNG,MUT-DEFAULT
+    anything()               # simlint: disable=all -- escape hatch
+
+The pragma must sit on the physical line the finding points at (the
+first line of a multi-line construct).  Everything after ``--`` is the
+human justification; simlint requires only the rule list.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cache import ResultCache, content_hash
+from repro.analysis.findings import Finding, LintError, LintReport
+from repro.analysis.registry import (
+    FileContext,
+    Rule,
+    all_rules,
+    rules_signature,
+)
+
+_PRAGMA_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_\-,\s]+?)(?:--.*)?$")
+
+#: directories never worth descending into
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
+
+DEFAULT_CACHE_NAME = ".simlint-cache.json"
+DEFAULT_BASELINE_NAME = "simlint-baseline.json"
+
+
+def parse_pragmas(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line number -> rule ids disabled on that line."""
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if "simlint" not in line:
+            continue
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        )
+        if rules:
+            pragmas[lineno] = rules
+    return pragmas
+
+
+def _suppressed(finding: Finding, pragmas: dict[int, frozenset[str]]) -> bool:
+    rules = pragmas.get(finding.line)
+    return rules is not None and ("ALL" in rules or finding.rule.upper() in rules)
+
+
+def module_path_of(rel_path: str) -> str:
+    """Path inside the ``repro`` package, used for rule scoping.
+
+    ``src/repro/core/budget.py`` -> ``core/budget.py``; paths without a
+    ``repro`` component (fixture trees in tests) are used as-is.
+    """
+    parts = rel_path.split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return rel_path
+
+
+def discover_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS or any(
+                    part.endswith(".egg-info") for part in candidate.parts
+                ):
+                    continue
+                found.add(candidate)
+        elif path.is_file():
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+@dataclass
+class LintEngine:
+    """One configured analysis run.
+
+    ``root`` anchors the repo-relative paths findings report (and the
+    default cache/baseline locations); ``rules`` defaults to the full
+    registry.
+    """
+
+    root: Path
+    rules: tuple[Rule, ...] = ()
+    cache_path: Path | None = None
+    baseline: Baseline | None = None
+
+    def __post_init__(self) -> None:
+        self.root = self.root.resolve()
+        if not self.rules:
+            self.rules = all_rules()
+        self._cache = ResultCache(self.cache_path, rules_signature(self.rules))
+
+    def rel_path(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def check_file(self, path: Path) -> tuple[list[Finding], int, LintError | None]:
+        """Lint one file: (findings, n_pragma_suppressed, error)."""
+        rel = self.rel_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [], 0, LintError(rel, f"unreadable: {exc}")
+
+        digest = content_hash(source)
+        cached = self._cache.get(rel, digest)
+        if cached is not None:
+            return cached, 0, None
+
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            lineno = exc.lineno or 1
+            return [], 0, LintError(rel, f"syntax error at line {lineno}: {exc.msg}")
+
+        lines = source.splitlines()
+        ctx = FileContext(
+            path=rel,
+            module_path=module_path_of(rel),
+            source=source,
+            tree=tree,
+            lines=lines,
+        )
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(ctx.module_path):
+                raw.extend(rule.check(ctx))
+
+        pragmas = parse_pragmas(lines)
+        findings = [f for f in raw if not _suppressed(f, pragmas)]
+        findings.sort()
+        self._cache.put(rel, digest, findings)
+        return findings, len(raw) - len(findings), None
+
+    def run(self, paths: Iterable[Path]) -> LintReport:
+        """Lint ``paths`` (files or directory trees) and filter baselines."""
+        report = LintReport()
+        collected: list[Finding] = []
+        for path in discover_files(paths):
+            findings, n_pragma, error = self.check_file(path)
+            report.files_scanned += 1
+            report.pragma_suppressed += n_pragma
+            if error is not None:
+                report.errors.append(error)
+            collected.extend(findings)
+        collected.sort()
+        if self.baseline is not None and len(self.baseline):
+            collected, suppressed = self.baseline.filter(collected)
+            report.baseline_suppressed = suppressed
+        report.findings = collected
+        report.cache_hits = self._cache.hits
+        self._cache.save()
+        return report
+
+
+def run_lint(
+    paths: Sequence[Path | str],
+    *,
+    root: Path | str | None = None,
+    rules: tuple[Rule, ...] | None = None,
+    use_cache: bool = True,
+    cache_path: Path | str | None = None,
+    baseline_path: Path | str | None = None,
+) -> LintReport:
+    """One-call API: lint ``paths`` with repo-default cache and baseline.
+
+    ``root`` defaults to the current directory; the cache lives at
+    ``<root>/.simlint-cache.json`` and the baseline (when present) at
+    ``<root>/simlint-baseline.json``.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    resolved_cache: Path | None = None
+    if use_cache:
+        resolved_cache = (
+            Path(cache_path) if cache_path is not None else root_path / DEFAULT_CACHE_NAME
+        )
+    baseline_file = (
+        Path(baseline_path) if baseline_path is not None else root_path / DEFAULT_BASELINE_NAME
+    )
+    baseline = Baseline.load(baseline_file) if baseline_file.exists() else None
+    engine = LintEngine(
+        root=root_path,
+        rules=rules or (),
+        cache_path=resolved_cache,
+        baseline=baseline,
+    )
+    return engine.run([Path(p) for p in paths])

@@ -1,0 +1,101 @@
+"""Finding: one rule violation at one source location.
+
+Findings are value objects — frozen, hashable, order-comparable — so the
+engine can cache them per file, diff them against a baseline, and render
+them in any output format without ever re-running a rule.
+
+The **fingerprint** deliberately excludes the line/column: a baseline
+entry keyed on ``(rule, path, message)`` survives unrelated edits that
+shift code up or down, which is the property that makes a committed
+baseline file workable at all.  Identical findings in one file (same
+rule, same message, different lines) are disambiguated by multiset
+counting at baseline-filter time, not by the fingerprint itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where it is, which rule, and why it matters."""
+
+    path: str  # repo-relative POSIX path
+    line: int  # 1-based, as ``ast`` reports it
+    col: int  # 0-based, as ``ast`` reports it
+    rule: str  # rule identifier, e.g. ``DET-RNG``
+    message: str  # human-readable explanation with the offending construct
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        """The classic compiler one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation for this finding."""
+        # '::' and newlines would terminate the workflow command early.
+        safe = self.message.replace("\n", " ").replace("::", ":")
+        return (
+            f"::error file={self.path},line={self.line},"
+            f"col={self.col + 1},title=simlint {self.rule}::{safe}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file the engine could not analyze (syntax error, IO failure).
+
+    Errors are *not* findings: they mean the determinism contract could
+    not be checked at all, so the CLI maps them to exit code 2, never 1.
+    """
+
+    path: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}: error: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one engine run produced, already baseline-filtered."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    files_scanned: int = 0
+    cache_hits: int = 0
+    pragma_suppressed: int = 0
+    baseline_suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self) -> int:
+        """The CLI contract: 0 clean, 1 findings, 2 internal error."""
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0

@@ -1,0 +1,159 @@
+"""Rule base class and registry.
+
+A rule is a small object with an identifier, a rationale, and a
+``check`` method that walks one parsed file and yields findings.  Rules
+self-register via the :func:`register` decorator, which makes the
+registry the extension point for future passes (an event-loop ordering
+checker for ``cluster/events.py``, say): drop a new class in
+``rules.py`` — or any imported module — and the engine, the CLI's
+``--rules`` filter, the docs table, and the cache signature all pick it
+up without further wiring.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file, parsed once."""
+
+    path: str  # repo-relative POSIX path ("src/repro/core/budget.py")
+    module_path: str  # path inside the repro package ("core/budget.py")
+    source: str
+    tree: ast.Module
+    lines: list[str]
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """One invariant, checked syntactically.
+
+    Subclasses set ``id`` / ``summary`` / ``rationale`` and implement
+    :meth:`check`.  ``scope`` is a tuple of glob-ish prefixes matched
+    against :attr:`FileContext.module_path`; empty means every file.
+    """
+
+    id: str = ""
+    summary: str = ""
+    rationale: str = ""
+    #: module-path prefixes (``"retrieval/"``) or exact files this rule
+    #: runs on; a ``bench_*``-style basename pattern is also accepted.
+    scope: tuple[str, ...] = ()
+    #: module paths (or prefixes) exempt even when inside ``scope``.
+    exempt: tuple[str, ...] = ()
+
+    def applies_to(self, module_path: str) -> bool:
+        if _matches_any(module_path, self.exempt):
+            return False
+        if not self.scope:
+            return True
+        return _matches_any(module_path, self.scope)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.id}>"
+
+
+def _matches_any(module_path: str, patterns: Sequence[str]) -> bool:
+    for pattern in patterns:
+        if "*" in pattern:
+            regex = "^" + re.escape(pattern).replace(r"\*", "[^/]*") + "$"
+            if re.match(regex, module_path):
+                return True
+        elif module_path == pattern or module_path.startswith(pattern):
+            return True
+    return False
+
+
+R = TypeVar("R", bound=type[Rule])
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: R) -> R:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in stable (sorted-by-id) order."""
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rules(ids: Iterable[str] | None = None) -> tuple[Rule, ...]:
+    """Resolve an id selection (``None`` = all), rejecting unknown ids."""
+    if ids is None:
+        return all_rules()
+    selected = []
+    for rule_id in ids:
+        if rule_id not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}")
+        selected.append(_REGISTRY[rule_id])
+    return tuple(sorted(selected, key=lambda r: r.id))
+
+
+def rules_signature(rules: Sequence[Rule]) -> str:
+    """Cache-key component: which rules (and rule code version) ran.
+
+    Bumping ``ANALYZER_VERSION`` invalidates every cache entry; so does
+    enabling a different rule subset.
+    """
+    return f"{ANALYZER_VERSION}:" + ",".join(rule.id for rule in rules)
+
+
+#: Bump when any rule's behaviour changes, to invalidate on-disk caches.
+ANALYZER_VERSION = 1
+
+
+def walk_scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and every function."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``np.random.default_rng`` -> that string; None for non-name chains."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+CallPredicate = Callable[[ast.Call], bool]

@@ -8,6 +8,7 @@ Four subcommands cover the common workflows::
     repro figure fig10 --scale small                   # one paper figure/table
     repro bench --scale small --out BENCH_inference.json  # inference microbench
     repro trace --policy cottage --export perfetto     # telemetry-traced run
+    repro lint src/repro                               # determinism linter
 
 ``python -m repro ...`` works identically.
 """
@@ -213,6 +214,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run simlint.  Exit-code contract: 0 clean, 1 findings, 2 internal error."""
+    from pathlib import Path
+
+    from repro.analysis import Baseline, LintEngine, get_rules
+
+    try:
+        root = Path(args.root).resolve()
+        rules = get_rules(args.rules if args.rules else None)
+        cache_path = None if args.no_cache else (
+            Path(args.cache) if args.cache else root / ".simlint-cache.json"
+        )
+        baseline_path = (
+            Path(args.baseline) if args.baseline else root / "simlint-baseline.json"
+        )
+        baseline = Baseline.load(baseline_path) if baseline_path.exists() else None
+        engine = LintEngine(
+            root=root,
+            rules=rules,
+            cache_path=cache_path,
+            baseline=None if args.write_baseline else baseline,
+        )
+        report = engine.run([Path(p) for p in args.paths])
+    except Exception as exc:  # the contract: *any* analyzer failure is exit 2
+        print(f"simlint: internal error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"simlint: wrote {len(report.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    for finding in report.findings:
+        print(finding.render())
+        if args.format == "github":
+            print(finding.render_github())
+    for error in report.errors:
+        print(error.render(), file=sys.stderr)
+        if args.format == "github":
+            print(f"::error file={error.path}::{error.message}")
+    summary = (
+        f"simlint: {report.files_scanned} file(s), "
+        f"{len(report.findings)} finding(s), {len(report.errors)} error(s)"
+    )
+    details = []
+    if report.pragma_suppressed:
+        details.append(f"{report.pragma_suppressed} pragma-suppressed")
+    if report.baseline_suppressed:
+        details.append(f"{report.baseline_suppressed} baselined")
+    if report.cache_hits:
+        details.append(f"{report.cache_hits} cache hit(s)")
+    if details:
+        summary += " (" + ", ".join(details) + ")"
+    print(summary)
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -292,6 +352,43 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also print the metrics registry snapshot")
     trace_cmd.add_argument("--workers", type=int, default=1, help=workers_help)
     trace_cmd.set_defaults(fn=_cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simlint determinism analyzer (0 clean, 1 findings, 2 error)",
+    )
+    lint.add_argument(
+        "paths", nargs="+", help="files or directory trees to analyze"
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="repo root for relative paths, cache and baseline (default: cwd)",
+    )
+    lint.add_argument(
+        "--rules", nargs="*", metavar="RULE",
+        help="run only these rule ids (default: the full registry)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=("text", "github"),
+        help="'github' additionally emits ::error workflow annotations",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the content-hash result cache",
+    )
+    lint.add_argument(
+        "--cache", default="",
+        help="cache file path (default <root>/.simlint-cache.json)",
+    )
+    lint.add_argument(
+        "--baseline", default="",
+        help="baseline file path (default <root>/simlint-baseline.json)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current findings into the baseline and exit 0",
+    )
+    lint.set_defaults(fn=_cmd_lint)
 
     return parser
 

@@ -51,7 +51,7 @@ class FaultSchedule:
     def __post_init__(self) -> None:
         for outage in self.outages:
             self._by_shard.setdefault(outage.shard_id, []).append(outage)
-        for intervals in self._by_shard.values():
+        for _, intervals in sorted(self._by_shard.items()):
             intervals.sort(key=lambda o: o.start_ms)
             for a, b in zip(intervals, intervals[1:]):
                 if b.start_ms < a.end_ms:

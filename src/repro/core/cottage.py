@@ -17,6 +17,7 @@ from repro.core.budget import BudgetInput, determine_time_budget
 from repro.policies.base import BasePolicy
 from repro.predictors.bank import PredictorBank
 from repro.retrieval.query import Query
+from repro.telemetry import Telemetry
 
 
 class CottagePolicy(BasePolicy):
@@ -99,7 +100,7 @@ class CottagePolicy(BasePolicy):
         plus this query's predicted service time, scaled to the candidate
         frequency (Eq. 1).
         """
-        inputs = []
+        inputs: list[BudgetInput] = []
         for prediction in self.bank.predict(query):
             queue_ms = view.queued_predicted_ms[prediction.shard_id]
             current = equivalent_latency_ms(
@@ -152,7 +153,7 @@ class CottagePolicy(BasePolicy):
         """
         return 2.0 * self.network.delay_ms() + self.bank.coordination_overhead_ms()
 
-    def bind_telemetry(self, telemetry) -> None:
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
         """Bind the run's session, including the bank's inference spans."""
         super().bind_telemetry(telemetry)
         self.bank.bind_telemetry(telemetry)
@@ -203,6 +204,8 @@ class CottagePolicy(BasePolicy):
                 shard_ids=(best.shard_id,),
                 coordination_delay_ms=self.coordination_delay_ms(),
             )
+        # Algorithm 1 always sets a budget when anything is selected.
+        assert decision.time_budget_ms is not None
         budget = decision.time_budget_ms * self.budget_slack
         overrides = (
             {sid: view.max_freq_ghz for sid in decision.boosted}

@@ -47,7 +47,7 @@ class CottageWithoutMLPolicy(CottagePolicy):
         k = self.bank.k
         gamma_k = self.estimator.quality_counts(query.terms, k)
         gamma_half = self.estimator.quality_counts(query.terms, max(k // 2, 1))
-        inputs = []
+        inputs: list[BudgetInput] = []
         for prediction in self.bank.predict(query):
             sid = prediction.shard_id
             queue_ms = view.queued_predicted_ms[sid]
@@ -101,16 +101,16 @@ class CottageISNPolicy(BasePolicy):
         self.network = network or NetworkModel()
         # Running per-shard mean of observed service times — each ISN's
         # only notion of "slow for me" without global visibility.
-        self._mean_service_ms = [10.0] * bank.n_shards
-        self._observations = [0] * bank.n_shards
+        self._mean_service_ms: list[float] = [10.0] * bank.n_shards
+        self._observations: list[int] = [0] * bank.n_shards
 
     def prewarm(self, queries: list[Query]) -> None:
         """Batch-predict the trace up front (see CottagePolicy.prewarm)."""
         self.bank.prewarm(queries)
 
     def decide(self, query: Query, view: ClusterView) -> Decision:
-        selected = []
-        overrides = {}
+        selected: list[int] = []
+        overrides: dict[int, float] = {}
         for prediction in self.bank.predict(query):
             # Same confidence-gated zero test as coordinated Cottage: this
             # variant removes coordination, not the quality machinery.

@@ -51,6 +51,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.retrieval.query import Query
     from repro.retrieval.searcher import ShardSearcher
+    from repro.telemetry import Telemetry
+    from repro.telemetry.trace import Tracer
 
 T = TypeVar("T")
 
@@ -116,9 +118,9 @@ class ShardExecutor:
         self.last_stats: FanoutStats | None = None
         # Telemetry tracer, bound per run; None means disabled and costs
         # exactly one attribute test per map call.
-        self._tracer = None
+        self._tracer: "Tracer | None" = None
 
-    def bind_telemetry(self, telemetry: object) -> None:
+    def bind_telemetry(self, telemetry: "Telemetry") -> None:
         """Attach a run's telemetry session to subsequent ``map`` calls."""
         self._tracer = telemetry.tracer if telemetry.enabled else None
 
@@ -217,7 +219,9 @@ class ParallelExecutor(ShardExecutor):
             try:
                 return task()
             finally:
-                durations[index] = (time.perf_counter() - t0) * 1000.0
+                # Each task owns exactly one preallocated slot, so the
+                # pool threads' writes are disjoint by construction.
+                durations[index] = (time.perf_counter() - t0) * 1000.0  # simlint: disable=PAR-SHARED -- index-disjoint slot writes
 
         start = time.perf_counter()
         pending = [pool.submit(timed, i, task) for i, task in enumerate(tasks)]

@@ -175,7 +175,7 @@ def maxscore_search_kernel(
     cost = CostStats(n_terms=len(terms))
     if not runs:
         return SearchResult(hits=[], cost=cost)
-    if min_postings and sum(run.size for run in runs) < min_postings:
+    if min_postings and sum(run.size for run in runs) < min_postings:  # simlint: disable=FLOAT-ORDER -- integer posting count, order-insensitive
         # Tiny workloads are dominated by per-batch numpy overhead; the
         # scalar loop is faster there and bit-identical by contract, so
         # dispatching on size cannot change any observable result.
@@ -564,10 +564,12 @@ def block_max_wand_search_kernel(
             pivot_end += 1
         pivot_set = order[:pivot_end]
 
-        block_ub = sum(
-            float(runs[i].block_maxes[runs[i].pos // block_size])
-            for i in pivot_set
-        )
+        # Explicit left-to-right accumulation in pivot-set order: the
+        # upper bound must add up exactly like the reference's walk.
+        block_ub = 0.0
+        for i in pivot_set:
+            run = runs[i]
+            block_ub += float(run.block_maxes[run.pos // block_size])
         if block_ub >= threshold:
             score = 0.0
             for i in pivot_set:

@@ -29,6 +29,9 @@ from repro.retrieval.maxscore import maxscore_search
 from repro.retrieval.query import Query
 from repro.retrieval.result import SearchResult, merge_results
 from repro.retrieval.wand import wand_search
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import Counter
+from repro.telemetry.trace import Tracer
 
 STRATEGIES: dict[str, Callable[[IndexShard, list[str], int], SearchResult]] = {
     "exhaustive": exhaustive_search,
@@ -128,13 +131,13 @@ class ShardSearcher:
         # interleave begin/end events on one track; the counters use plain
         # unlocked adds everywhere (they can undercount under races,
         # never overcount — the same contract as the memo-cache hits).
-        self._tracer = None
-        self._telemetry_thread = 0
-        self._m_chunks = None
-        self._m_offers = None
-        self._m_restarts = None
+        self._tracer: Tracer | None = None
+        self._telemetry_thread: int = 0
+        self._m_chunks: Counter | None = None
+        self._m_offers: Counter | None = None
+        self._m_restarts: Counter | None = None
 
-    def bind_telemetry(self, telemetry: object) -> None:
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
         """Attach a run's telemetry session to subsequent kernel calls."""
         if telemetry.enabled:
             self._tracer = telemetry.tracer
@@ -228,6 +231,12 @@ class ShardSearcher:
                 span.attrs["offers"] = kstats.offers
         else:
             result = strategy(self.shard, list(query.terms), key[1], stats=kstats)
+        # The counters are bound iff the tracer is (see bind_telemetry).
+        assert (
+            self._m_chunks is not None
+            and self._m_offers is not None
+            and self._m_restarts is not None
+        )
         self._m_chunks.add(kstats.chunks)
         self._m_offers.add(kstats.offers)
         self._m_restarts.add(kstats.threshold_restarts)
@@ -263,7 +272,7 @@ class DistributedSearcher:
     def n_shards(self) -> int:
         return len(self.searchers)
 
-    def bind_telemetry(self, telemetry: object) -> None:
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
         """Forward a run's telemetry session to every shard searcher."""
         for searcher in self.searchers:
             searcher.bind_telemetry(telemetry)

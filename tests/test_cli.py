@@ -51,3 +51,68 @@ class TestCommands:
     def test_unknown_scale(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig04", "--scale", "enormous"])
+
+
+class TestLintCommand:
+    """The `repro lint` exit-code contract: 0 clean, 1 findings, 2 error."""
+
+    def write(self, tmp_path, name, source):
+        target = tmp_path / "repro" / "core" / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return target
+
+    def lint(self, tmp_path, *extra):
+        return main(
+            ["lint", str(tmp_path / "repro"), "--root", str(tmp_path), *extra]
+        )
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self.write(tmp_path, "clean.py", "def f(x):\n    return x + 1\n")
+        assert self.lint(tmp_path) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        self.write(tmp_path, "dirty.py", "import random\nx = random.random()\n")
+        assert self.lint(tmp_path) == 1
+        out = capsys.readouterr().out
+        assert "DET-RNG" in out and "dirty.py:2" in out
+
+    def test_exit_two_on_syntax_error(self, tmp_path, capsys):
+        self.write(tmp_path, "broken.py", "def broken(:\n")
+        assert self.lint(tmp_path) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "nope"), "--root", str(tmp_path)])
+        assert code == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        self.write(tmp_path, "clean.py", "x = 1\n")
+        assert self.lint(tmp_path, "--rules", "NO-SUCH-RULE") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_github_format_emits_annotations(self, tmp_path, capsys):
+        self.write(tmp_path, "dirty.py", "import random\nx = random.random()\n")
+        assert self.lint(tmp_path, "--format", "github") == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "title=simlint DET-RNG" in out
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        self.write(tmp_path, "dirty.py", "import random\nx = random.random()\n")
+        assert self.lint(tmp_path, "--write-baseline") == 0
+        assert (tmp_path / "simlint-baseline.json").exists()
+        capsys.readouterr()
+        # Grandfathered finding no longer fails; summary says it was baselined.
+        assert self.lint(tmp_path, "--no-cache") == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_rule_subset_filter(self, tmp_path):
+        self.write(
+            tmp_path, "dirty.py",
+            "import random\nx = random.random()\ndef f(a=[]):\n    return a\n",
+        )
+        assert self.lint(tmp_path, "--rules", "MUT-DEFAULT") == 1
+        # The cache is keyed on the rule set, so the broader run re-analyzes.
+        assert self.lint(tmp_path, "--rules", "DET-CLOCK") == 0

@@ -1,0 +1,537 @@
+"""Fixture-driven self-tests for the simlint static analyzer.
+
+Every rule gets at least one known-bad snippet it must fire on and one
+known-clean snippet it must stay silent on; plus engine-level coverage
+for pragma suppression, the content-hash cache, the baseline round-trip,
+and a meta-test asserting the tree as committed is lint-clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    LintEngine,
+    all_rules,
+    get_rules,
+    module_path_of,
+    parse_pragmas,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+RULE_IDS = {
+    "DET-RNG", "DET-CLOCK", "DET-ORDER", "FLOAT-ORDER",
+    "TEL-BIND", "MUT-DEFAULT", "PAR-SHARED",
+}
+
+
+def lint_snippet(tmp_path, source, module_path="core/snippet.py", rules=None):
+    """Write ``source`` at ``repro/<module_path>`` and lint it."""
+    target = tmp_path / "repro" / module_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    engine = LintEngine(
+        root=tmp_path,
+        rules=get_rules(rules) if rules else (),
+        cache_path=None,
+    )
+    return engine.run([target])
+
+
+def rule_hits(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestRegistry:
+    def test_all_seven_rules_registered(self):
+        assert {rule.id for rule in all_rules()} >= RULE_IDS
+
+    def test_rules_have_docs(self):
+        for rule in all_rules():
+            assert rule.summary, rule.id
+            assert rule.rationale, rule.id
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(KeyError, match="NO-SUCH-RULE"):
+            get_rules(["NO-SUCH-RULE"])
+
+    def test_module_path_of(self):
+        assert module_path_of("src/repro/core/budget.py") == "core/budget.py"
+        assert module_path_of("repro/retrieval/kernels.py") == "retrieval/kernels.py"
+        assert module_path_of("elsewhere/thing.py") == "elsewhere/thing.py"
+
+
+class TestDetRng:
+    def test_fires_on_global_random(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import random\n"
+            "def jitter():\n"
+            "    return random.random() + random.randint(0, 3)\n",
+        )
+        assert len(rule_hits(report, "DET-RNG")) == 2
+
+    def test_fires_on_unseeded_default_rng(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n",
+        )
+        hits = rule_hits(report, "DET-RNG")
+        assert len(hits) == 1 and "seed" in hits[0].message
+
+    def test_fires_on_numpy_global_state(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "x = np.random.rand(3)\n",
+        )
+        assert len(rule_hits(report, "DET-RNG")) == 2
+
+    def test_clean_on_seeded_rngs(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import random\n"
+            "import numpy as np\n"
+            "r = random.Random(7)\n"
+            "rng = np.random.default_rng(3)\n"
+            "def draw(rng):\n"
+            "    return rng.normal(size=4)\n",
+        )
+        assert not rule_hits(report, "DET-RNG")
+
+
+class TestDetClock:
+    def test_fires_on_wall_clock(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import time\n"
+            "import datetime\n"
+            "t = time.time()\n"
+            "n = datetime.datetime.now()\n",
+            module_path="cluster/engine2.py",
+        )
+        assert len(rule_hits(report, "DET-CLOCK")) == 2
+
+    def test_fires_on_bare_import(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from time import perf_counter\n"
+            "t0 = perf_counter()\n",
+        )
+        assert len(rule_hits(report, "DET-CLOCK")) == 1
+
+    def test_clean_in_allowlisted_modules(self, tmp_path):
+        source = "import time\nt = time.perf_counter()\n"
+        for module in (
+            "telemetry/trace.py",
+            "retrieval/executor.py",
+            "experiments/bench_anything.py",
+        ):
+            report = lint_snippet(tmp_path, source, module_path=module)
+            assert not rule_hits(report, "DET-CLOCK"), module
+
+    def test_clean_on_sim_clock(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def handle(sim):\n"
+            "    return sim.now + 1.0\n",
+        )
+        assert not rule_hits(report, "DET-CLOCK")
+
+
+class TestDetOrder:
+    def test_fires_on_set_iteration(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def merge(shards):\n"
+            "    out = []\n"
+            "    for s in set(shards):\n"
+            "        out.append(s)\n"
+            "    return out\n",
+            module_path="retrieval/merge2.py",
+        )
+        assert len(rule_hits(report, "DET-ORDER")) == 1
+
+    def test_fires_on_keys_view_and_comprehension(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def collect(table):\n"
+            "    ids = [k for k in table.keys()]\n"
+            "    seen = {x for x in frozenset(ids)}\n"
+            "    return ids, seen\n",
+            module_path="cluster/collect.py",
+        )
+        assert len(rule_hits(report, "DET-ORDER")) == 2
+
+    def test_fires_through_transparent_wrappers(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def order(items):\n"
+            "    return [x for x in list(set(items))]\n",
+            module_path="core/order.py",
+        )
+        assert len(rule_hits(report, "DET-ORDER")) == 1
+
+    def test_clean_when_sorted(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def merge(shards, table):\n"
+            "    out = [s for s in sorted(set(shards))]\n"
+            "    for k in sorted(table.keys()):\n"
+            "        out.append(k)\n"
+            "    return out\n",
+            module_path="retrieval/merge2.py",
+        )
+        assert not rule_hits(report, "DET-ORDER")
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def tags(xs):\n"
+            "    return [x for x in set(xs)]\n",
+            module_path="workloads/tags.py",
+        )
+        assert not rule_hits(report, "DET-ORDER")
+
+
+class TestFloatOrder:
+    def test_fires_on_builtin_sum_in_kernels(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def upper_bound(scores):\n"
+            "    return sum(scores)\n",
+            module_path="retrieval/kernels.py",
+        )
+        assert len(rule_hits(report, "FLOAT-ORDER")) == 1
+
+    def test_fires_on_np_sum_in_arena(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import numpy as np\n"
+            "def total(col):\n"
+            "    return np.sum(col)\n",
+            module_path="index/arena.py",
+        )
+        assert len(rule_hits(report, "FLOAT-ORDER")) == 1
+
+    def test_clean_on_explicit_loop(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def upper_bound(scores):\n"
+            "    acc = 0.0\n"
+            "    for s in scores:\n"
+            "        acc += float(s)\n"
+            "    return acc\n",
+            module_path="retrieval/kernels.py",
+        )
+        assert not rule_hits(report, "FLOAT-ORDER")
+
+    def test_sum_outside_kernel_scope_not_checked(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def total(xs):\n"
+            "    return sum(xs)\n",
+            module_path="metrics/summary2.py",
+        )
+        assert not rule_hits(report, "FLOAT-ORDER")
+
+
+TEL_BIND_BAD = """\
+def run_trace(cluster, telemetry, NO_TELEMETRY):
+    cluster.executor.bind_telemetry(telemetry)
+    return cluster.replay()
+"""
+
+TEL_BIND_CLEAN = """\
+def run_trace(cluster, telemetry, NO_TELEMETRY):
+    cluster.executor.bind_telemetry(telemetry)
+    try:
+        return cluster.replay()
+    finally:
+        cluster.executor.bind_telemetry(NO_TELEMETRY)
+"""
+
+TEL_BIND_DELEGATION = """\
+class Stack:
+    def bind_telemetry(self, telemetry):
+        for child in self.children:
+            child.bind_telemetry(telemetry)
+"""
+
+
+class TestTelBind:
+    def test_fires_without_finally(self, tmp_path):
+        report = lint_snippet(tmp_path, TEL_BIND_BAD)
+        assert len(rule_hits(report, "TEL-BIND")) == 1
+
+    def test_clean_with_finally_restore(self, tmp_path):
+        report = lint_snippet(tmp_path, TEL_BIND_CLEAN)
+        assert not rule_hits(report, "TEL-BIND")
+
+    def test_delegating_binder_exempt(self, tmp_path):
+        report = lint_snippet(tmp_path, TEL_BIND_DELEGATION)
+        assert not rule_hits(report, "TEL-BIND")
+
+
+class TestMutDefault:
+    def test_fires_on_literal_defaults(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def collect(x, acc=[]):\n"
+            "    acc.append(x)\n"
+            "    return acc\n"
+            "def config(opts={}):\n"
+            "    return opts\n",
+        )
+        assert len(rule_hits(report, "MUT-DEFAULT")) == 2
+
+    def test_fires_on_factory_and_kwonly(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "from collections import defaultdict\n"
+            "def group(*, table=defaultdict(list)):\n"
+            "    return table\n",
+        )
+        assert len(rule_hits(report, "MUT-DEFAULT")) == 1
+
+    def test_clean_on_none_default(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "def collect(x, acc=None):\n"
+            "    acc = [] if acc is None else acc\n"
+            "    acc.append(x)\n"
+            "    return acc\n",
+        )
+        assert not rule_hits(report, "MUT-DEFAULT")
+
+
+PAR_SHARED_BAD = """\
+def fan_out(pool, tasks):
+    results = []
+    def worker(task):
+        results.append(task())
+    for task in tasks:
+        pool.submit(worker, task)
+    return results
+"""
+
+PAR_SHARED_LOCKED = """\
+import threading
+def fan_out(pool, tasks):
+    results = []
+    lock = threading.Lock()
+    def worker(task):
+        value = task()
+        with lock:
+            results.append(value)
+    for task in tasks:
+        pool.submit(worker, task)
+    return results
+"""
+
+PAR_SHARED_PURE = """\
+def fan_out(pool, tasks):
+    futures = [pool.submit(lambda t=task: t()) for task in tasks]
+    return [f.result() for f in futures]
+"""
+
+PAR_SHARED_NO_EXECUTOR = """\
+def serial(tasks):
+    results = []
+    def worker(task):
+        results.append(task())
+    for task in tasks:
+        worker(task)
+    return results
+"""
+
+
+class TestParShared:
+    def test_fires_on_shared_mutation(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_SHARED_BAD)
+        assert len(rule_hits(report, "PAR-SHARED")) == 1
+
+    def test_clean_under_lock(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_SHARED_LOCKED)
+        assert not rule_hits(report, "PAR-SHARED")
+
+    def test_clean_pure_closures(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_SHARED_PURE)
+        assert not rule_hits(report, "PAR-SHARED")
+
+    def test_serial_helper_not_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_SHARED_NO_EXECUTOR)
+        assert not rule_hits(report, "PAR-SHARED")
+
+
+class TestPragmas:
+    def test_parse(self):
+        pragmas = parse_pragmas(
+            [
+                "x = 1",
+                "y = wall()  # simlint: disable=DET-CLOCK -- measurement",
+                "z = f()  # simlint: disable=DET-RNG,MUT-DEFAULT",
+                "w = g()  # simlint: disable=all",
+            ]
+        )
+        assert pragmas == {
+            2: frozenset({"DET-CLOCK"}),
+            3: frozenset({"DET-RNG", "MUT-DEFAULT"}),
+            4: frozenset({"ALL"}),
+        }
+
+    def test_suppresses_matching_rule_only(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import random\n"
+            "a = random.random()  # simlint: disable=DET-RNG -- fixture\n"
+            "b = random.random()  # simlint: disable=DET-CLOCK -- wrong rule\n"
+            "c = random.random()\n",
+        )
+        assert len(rule_hits(report, "DET-RNG")) == 2
+        assert report.pragma_suppressed == 1
+
+    def test_disable_all(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import random\n"
+            "a = random.random()  # simlint: disable=all -- fixture\n",
+        )
+        assert not report.findings
+        assert report.pragma_suppressed == 1
+
+
+class TestCache:
+    def make_engine(self, tmp_path):
+        return LintEngine(
+            root=tmp_path, cache_path=tmp_path / ".simlint-cache.json"
+        )
+
+    def test_warm_run_hits_cache_with_same_findings(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import random\nx = random.random()\n")
+
+        cold = self.make_engine(tmp_path).run([target])
+        assert cold.cache_hits == 0 and len(cold.findings) == 1
+
+        warm = self.make_engine(tmp_path).run([target])
+        assert warm.cache_hits == 1
+        assert warm.findings == cold.findings
+
+    def test_content_change_invalidates(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import random\nx = random.random()\n")
+        self.make_engine(tmp_path).run([target])
+
+        target.write_text("import random\nr = random.Random(3)\n")
+        warm = self.make_engine(tmp_path).run([target])
+        assert warm.cache_hits == 0
+        assert not warm.findings
+
+    def test_rule_subset_change_invalidates(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import random\nx = random.random()\n")
+        self.make_engine(tmp_path).run([target])
+
+        engine = LintEngine(
+            root=tmp_path,
+            rules=get_rules(["MUT-DEFAULT"]),
+            cache_path=tmp_path / ".simlint-cache.json",
+        )
+        report = engine.run([target])
+        assert report.cache_hits == 0
+        assert not report.findings
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_then_surfaces_new(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import random\nx = random.random()\n")
+
+        first = LintEngine(root=tmp_path, cache_path=None).run([target])
+        assert len(first.findings) == 1
+
+        baseline_path = tmp_path / "simlint-baseline.json"
+        Baseline.from_findings(first.findings).save(baseline_path)
+        reloaded = Baseline.load(baseline_path)
+        assert len(reloaded) == 1
+
+        engine = LintEngine(root=tmp_path, cache_path=None, baseline=reloaded)
+        second = engine.run([target])
+        assert not second.findings
+        assert second.baseline_suppressed == 1
+
+        # A *new* identical violation on another line is not grandfathered:
+        # the multiset budget covers exactly one occurrence.
+        target.write_text(
+            "import random\nx = random.random()\ny = random.random()\n"
+        )
+        third = LintEngine(
+            root=tmp_path, cache_path=None, baseline=reloaded
+        ).run([target])
+        assert len(third.findings) == 1
+        assert third.baseline_suppressed == 1
+
+    def test_stale_entries_reported(self, tmp_path):
+        finding = Finding(
+            path="repro/core/mod.py", line=2, col=0,
+            rule="DET-RNG", message="gone",
+        )
+        baseline = Baseline.from_findings([finding])
+        assert baseline.stale_entries([]) == [finding.fingerprint()]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+class TestErrors:
+    def test_syntax_error_is_error_not_finding(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "broken.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def broken(:\n")
+        report = LintEngine(root=tmp_path, cache_path=None).run([target])
+        assert not report.findings
+        assert len(report.errors) == 1
+        assert report.exit_code() == 2
+
+    def test_missing_path_raises(self, tmp_path):
+        engine = LintEngine(root=tmp_path, cache_path=None)
+        with pytest.raises(FileNotFoundError):
+            engine.run([tmp_path / "does-not-exist"])
+
+
+class TestTreeIsClean:
+    def test_repro_lint_src_repro_exits_zero(self, tmp_path):
+        """The tree as committed carries no findings and an empty baseline."""
+        from repro.cli import main
+
+        assert (REPO_ROOT / "simlint-baseline.json").exists()
+        assert Baseline.load(REPO_ROOT / "simlint-baseline.json").counts == {}
+        code = main(
+            [
+                "lint",
+                str(REPO_ROOT / "src" / "repro"),
+                "--root", str(REPO_ROOT),
+                "--cache", str(tmp_path / "cache.json"),
+            ]
+        )
+        assert code == 0
+
+    def test_run_lint_api_matches(self, tmp_path):
+        report = run_lint(
+            [REPO_ROOT / "src" / "repro"],
+            root=REPO_ROOT,
+            cache_path=tmp_path / "cache.json",
+        )
+        assert report.clean
+        assert report.files_scanned > 100
