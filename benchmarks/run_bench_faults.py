@@ -1,0 +1,135 @@
+"""Standalone fault scenario-matrix harness.
+
+Builds a testbed, replays the faults x replication x budget grid
+(:mod:`repro.cluster.scenarios`), prints the scoreboard, and writes
+``BENCH_faults.json`` for the resilience trajectory (CI uploads it as an
+artifact)::
+
+    python benchmarks/run_bench_faults.py --scale small --out BENCH_faults.json
+
+Exits nonzero if the tail-tolerance headline regresses: under the
+``slow_replica`` scenario, hedged dispatch must beat primary-only p99
+latency while keeping total ISN time under ``--max-cost-ratio`` times
+the primary-only run's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cluster.scenarios import default_matrix, run_matrix  # noqa: E402
+from repro.experiments import Scale, Testbed  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_SCALE", "small"),
+        help="unit, small or full (default: $REPRO_SCALE or small)",
+    )
+    parser.add_argument(
+        "--trace", default="wikipedia", choices=("wikipedia", "lucene")
+    )
+    parser.add_argument(
+        "--policies", nargs="*", default=("exhaustive", "cottage")
+    )
+    parser.add_argument(
+        "--scenarios", nargs="*",
+        default=("outage", "flaky_shard", "slow_replica", "correlated"),
+    )
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--response-timeout-ms", type=float, default=150.0)
+    parser.add_argument("--out", default="BENCH_faults.json")
+    parser.add_argument(
+        "--max-cost-ratio", type=float, default=2.0,
+        help="fail if hedged total service exceeds this times primary-only",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        scale = getattr(Scale, args.scale)()
+    except AttributeError:
+        parser.error(f"unknown scale {args.scale!r}; use unit, small or full")
+
+    print(f"building {args.scale} testbed...", flush=True)
+    testbed = Testbed.build(scale)
+    trace = {
+        "wikipedia": testbed.wikipedia_trace,
+        "lucene": testbed.lucene_trace,
+    }[args.trace]
+    cases = default_matrix(
+        policies=tuple(args.policies),
+        scenarios=tuple(args.scenarios),
+        n_replicas=args.replicas,
+    )
+    print(f"running {len(cases)} matrix cells on {trace.name}...", flush=True)
+    results = run_matrix(
+        testbed.cluster,
+        testbed.make_policy,
+        trace,
+        testbed.truth_for(trace),
+        cases,
+        seed=args.seed,
+        response_timeout_ms=args.response_timeout_ms,
+    )
+
+    header = (
+        f"{'scenario':<14} {'policy':<12} {'mode':<8} {'R':>2} "
+        f"{'p50_ms':>8} {'p99_ms':>8} {'P@K':>6} {'Qloss':>6} "
+        f"{'hedge':>6} {'waste%':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for cell in results:
+        print(
+            f"{cell.scenario:<14} {cell.policy:<12} {cell.mode:<8} "
+            f"{cell.n_replicas:>2} {cell.p50_latency_ms:>8.2f} "
+            f"{cell.p99_latency_ms:>8.2f} {cell.avg_precision:>6.3f} "
+            f"{cell.quality_loss:>6.3f} {cell.hedges_issued:>6} "
+            f"{100.0 * cell.wasted_work_ratio:>6.1f}%"
+        )
+
+    payload = {
+        "scale": args.scale,
+        "trace": trace.name,
+        "seed": args.seed,
+        "response_timeout_ms": args.response_timeout_ms,
+        "cells": [cell.row() for cell in results],
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.out}")
+
+    failures: list[str] = []
+    if "slow_replica" in args.scenarios:
+        by_key = {(c.scenario, c.policy, c.mode): c for c in results}
+        for policy in args.policies:
+            primary = by_key.get(("slow_replica", policy, "primary"))
+            hedged = by_key.get(("slow_replica", policy, "hedged"))
+            if primary is None or hedged is None:
+                continue
+            if hedged.p99_latency_ms >= primary.p99_latency_ms:
+                failures.append(
+                    f"{policy}: hedged p99 {hedged.p99_latency_ms:.2f} ms did "
+                    f"not beat primary-only {primary.p99_latency_ms:.2f} ms"
+                )
+            if hedged.total_service_ms > args.max_cost_ratio * primary.total_service_ms:
+                failures.append(
+                    f"{policy}: hedged cost {hedged.total_service_ms:.0f} ms "
+                    f"exceeds {args.max_cost_ratio:.1f}x primary-only "
+                    f"{primary.total_service_ms:.0f} ms"
+                )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

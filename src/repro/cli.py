@@ -8,6 +8,7 @@ Four subcommands cover the common workflows::
     repro figure fig10 --scale small                   # one paper figure/table
     repro bench --scale small --out BENCH_inference.json  # inference microbench
     repro trace --policy cottage --export perfetto     # telemetry-traced run
+    repro faults --scale unit --replicas 2             # fault scenario matrix
     repro lint src/repro                               # determinism linter
 
 ``python -m repro ...`` works identically.
@@ -214,6 +215,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Run the faults x replication x budget scenario matrix."""
+    import json
+
+    from repro.cluster.scenarios import SCENARIOS, default_matrix, run_matrix
+
+    for scenario in args.scenarios:
+        if scenario not in SCENARIOS:
+            print(
+                f"unknown scenario {scenario!r}; options: "
+                f"{', '.join(sorted(SCENARIOS))}",
+                file=sys.stderr,
+            )
+            return 1
+    testbed = Testbed.build(_scale(args.scale), workers=args.workers)
+    trace = {
+        "wikipedia": testbed.wikipedia_trace,
+        "lucene": testbed.lucene_trace,
+    }[args.trace]
+    cases = default_matrix(
+        policies=tuple(args.policies),
+        scenarios=tuple(args.scenarios),
+        n_replicas=args.replicas,
+    )
+    results = run_matrix(
+        testbed.cluster,
+        testbed.make_policy,
+        trace,
+        testbed.truth_for(trace),
+        cases,
+        seed=args.seed,
+        response_timeout_ms=args.response_timeout_ms,
+    )
+    header = (
+        f"{'scenario':<14} {'policy':<12} {'mode':<8} {'R':>2} "
+        f"{'p50_ms':>8} {'p99_ms':>8} {'P@K':>6} {'Qloss':>6} "
+        f"{'drop':>5} {'hedge':>6} {'waste%':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for cell in results:
+        print(
+            f"{cell.scenario:<14} {cell.policy:<12} {cell.mode:<8} "
+            f"{cell.n_replicas:>2} {cell.p50_latency_ms:>8.2f} "
+            f"{cell.p99_latency_ms:>8.2f} {cell.avg_precision:>6.3f} "
+            f"{cell.quality_loss:>6.3f} {cell.avg_dropped_shards:>5.2f} "
+            f"{cell.hedges_issued:>6} {100.0 * cell.wasted_work_ratio:>6.1f}%"
+        )
+    if args.out:
+        payload = {
+            "scale": args.scale,
+            "trace": trace.name,
+            "seed": args.seed,
+            "response_timeout_ms": args.response_timeout_ms,
+            "cells": [cell.row() for cell in results],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run simlint.  Exit-code contract: 0 clean, 1 findings, 2 internal error."""
     from pathlib import Path
@@ -352,6 +415,37 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also print the metrics registry snapshot")
     trace_cmd.add_argument("--workers", type=int, default=1, help=workers_help)
     trace_cmd.set_defaults(fn=_cmd_trace)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run the fault-scenario x replication x budget matrix",
+    )
+    faults.add_argument("--scale", default="unit")
+    faults.add_argument("--trace", default="wikipedia",
+                        choices=("wikipedia", "lucene"))
+    faults.add_argument(
+        "--policies", nargs="*", default=("exhaustive", "cottage"),
+        metavar="POLICY", help=f"policies to grid (from: {', '.join(ALL_POLICIES)})",
+    )
+    faults.add_argument(
+        "--scenarios", nargs="*",
+        default=("outage", "flaky_shard", "slow_replica", "correlated"),
+        metavar="SCENARIO", help="fault scenarios to grid",
+    )
+    faults.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica count for the hedged/tied cells (default 2)",
+    )
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault-timeline and selector seed")
+    faults.add_argument(
+        "--response-timeout-ms", type=float, default=150.0,
+        help="safety-net timeout for unbudgeted policies",
+    )
+    faults.add_argument("--out", default="",
+                        help="write the matrix as JSON (BENCH_faults.json)")
+    faults.add_argument("--workers", type=int, default=1, help=workers_help)
+    faults.set_defaults(fn=_cmd_faults)
 
     lint = sub.add_parser(
         "lint",

@@ -16,7 +16,27 @@ from repro.cluster.cpu import (
 )
 from repro.cluster.engine import RunResult, SearchCluster
 from repro.cluster.events import Simulator
-from repro.cluster.faults import FaultSchedule, Outage
+from repro.cluster.faults import FaultSchedule, Outage, Slowdown
+from repro.cluster.replicas import (
+    DISPATCH_MODES,
+    SELECTORS,
+    LeastLoadedSelector,
+    ReplicaSelector,
+    ReplicationConfig,
+    SeededSelector,
+    StaticSelector,
+    hedge_delay_ms,
+    make_selector,
+)
+from repro.cluster.scenarios import (
+    SCENARIOS,
+    CellResult,
+    MatrixCase,
+    ScenarioContext,
+    default_matrix,
+    run_matrix,
+    scenario_schedule,
+)
 from repro.cluster.sleep import SleepPolicy
 from repro.cluster.governor import (
     GOVERNORS,
@@ -58,6 +78,23 @@ __all__ = [
     "CacheStats",
     "FaultSchedule",
     "Outage",
+    "Slowdown",
+    "ReplicationConfig",
+    "ReplicaSelector",
+    "StaticSelector",
+    "SeededSelector",
+    "LeastLoadedSelector",
+    "make_selector",
+    "hedge_delay_ms",
+    "DISPATCH_MODES",
+    "SELECTORS",
+    "SCENARIOS",
+    "ScenarioContext",
+    "MatrixCase",
+    "CellResult",
+    "scenario_schedule",
+    "default_matrix",
+    "run_matrix",
     "SleepPolicy",
     "Aggregator",
     "SearchCluster",

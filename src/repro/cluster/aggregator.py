@@ -5,6 +5,24 @@ predict-and-report round (steps 1-5) is charged as the decision's
 ``coordination_delay_ms``; dispatch then fans the query out, each selected
 ISN executes within the broadcast budget, and the aggregator merges
 whatever arrived by the deadline, dropping stragglers (step 7).
+
+With shard replicas (:mod:`repro.cluster.replicas`) each selected shard
+becomes a *request* that may spawn several *attempts*:
+
+* ``primary`` mode issues one attempt to the selector's first choice —
+  the pre-replication behaviour, bit-identical to it at any replica
+  count;
+* ``hedged`` mode schedules a backup attempt at the budget-derived hedge
+  instant (see :func:`repro.cluster.replicas.hedge_delay_ms`) and issues
+  it only if the primary has not answered by then;
+* ``tied`` mode races two attempts and recalls the loser the moment the
+  first response arrives (a recall only reaches jobs still queued; an
+  attempt already in service runs on and its late response is dropped as
+  a duplicate).
+
+Whatever the mode, exactly one response per shard is merged and exactly
+one record per query is committed — the invariants
+``tests/test_tied_requests.py`` stresses.
 """
 
 from __future__ import annotations
@@ -15,6 +33,12 @@ from repro.cluster.cache import ResultCache
 from repro.cluster.events import Simulator
 from repro.cluster.isn import ISNServer, Job
 from repro.cluster.network import NetworkModel
+from repro.cluster.replicas import (
+    ReplicaSelector,
+    ReplicationConfig,
+    hedge_delay_ms,
+    make_selector,
+)
 from repro.cluster.types import (
     ClusterView,
     Decision,
@@ -30,6 +54,30 @@ _TRACK = "aggregator"
 
 
 @dataclass
+class _Attempt:
+    """One job issued to one replica for one (query, shard) request."""
+
+    replica_id: int
+    job: Job
+    role: str  # "primary" | "hedge" | "tied"
+    issued_ms: float
+    done: bool = False  # the ISN reported back (finish, abort or recall)
+    completed: bool = False  # finished in time; its response is travelling
+
+
+@dataclass
+class _ShardRequest:
+    """Aggregator-side state for one selected shard of one query."""
+
+    shard_id: int
+    attempts: dict[int, _Attempt] = field(default_factory=dict)
+    won: bool = False  # a response for this shard was accepted
+    winner_replica: int = -1
+    hedge_scheduled: bool = False
+    backup_replica: int | None = None
+
+
+@dataclass
 class _PendingQuery:
     """Aggregator-side state for one in-flight query."""
 
@@ -37,9 +85,11 @@ class _PendingQuery:
     arrival_ms: float
     decision: Decision
     dispatch_ms: float
+    deadline_ms: float | None
     expected: set[int]
+    requests: dict[int, _ShardRequest] = field(default_factory=dict)
     responses: dict[int, SearchResult] = field(default_factory=dict)
-    outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
+    outcomes: dict[tuple[int, int], ShardOutcome] = field(default_factory=dict)
     finalized: bool = False
     span: object | None = None  # telemetry lifecycle span
 
@@ -49,7 +99,7 @@ class Aggregator:
 
     def __init__(
         self,
-        isns: list[ISNServer],
+        isns: list[ISNServer] | list[list[ISNServer]],
         policy: SelectionPolicy,
         network: NetworkModel,
         sim: Simulator,
@@ -57,15 +107,26 @@ class Aggregator:
         cache: ResultCache | None = None,
         response_timeout_ms: float | None = None,
         telemetry: Telemetry | None = None,
+        replication: ReplicationConfig | None = None,
+        selector: ReplicaSelector | None = None,
     ) -> None:
-        """``response_timeout_ms`` is the safety net for unbudgeted
+        """``isns`` is one entry per shard: either a bare :class:`ISNServer`
+        (single replica, the pre-replication form) or that shard's replica
+        group.  ``response_timeout_ms`` is the safety net for unbudgeted
         policies: with fail-silent ISNs in play, exhaustive-style "wait for
-        everyone" would otherwise never answer."""
+        everyone" would otherwise never answer.  ``selector`` overrides the
+        replica selector built from ``replication`` (used to share one
+        seeded selector across direct constructions)."""
         if not isns:
             raise ValueError("cluster needs at least one ISN")
         if response_timeout_ms is not None and response_timeout_ms <= 0:
             raise ValueError("response timeout must be positive")
-        self.isns = isns
+        self.groups: list[list[ISNServer]] = [
+            list(entry) if isinstance(entry, (list, tuple)) else [entry]
+            for entry in isns
+        ]
+        self.replication = replication or ReplicationConfig()
+        self.selector = selector or make_selector(self.replication)
         self.policy = policy
         self.network = network
         self.sim = sim
@@ -73,8 +134,17 @@ class Aggregator:
         self.cache = cache
         self.response_timeout_ms = response_timeout_ms
         self.records: list[QueryRecord] = []
-        self._default_freq = isns[0].freq_scale.default_ghz
-        self._max_freq = isns[0].freq_scale.max_ghz
+        self._default_freq = self.groups[0][0].freq_scale.default_ghz
+        self._max_freq = self.groups[0][0].freq_scale.max_ghz
+        # Run-level tail-tolerance accounting (surfaced on RunResult).
+        self.queries_seen = 0
+        self.hedges_issued = 0
+        self.hedge_wins = 0
+        self.cancels_sent = 0
+        self.cancelled_in_queue = 0
+        self.duplicates_dropped = 0
+        self.total_service_ms = 0.0
+        self.counted_service_ms = 0.0
         # Telemetry: the tracer reference is None when disabled, so the
         # per-query hot path pays one attribute test and nothing else.
         telemetry = telemetry or NO_TELEMETRY
@@ -83,26 +153,36 @@ class Aggregator:
         self._m_cache_hits = metrics.counter("aggregator.result_cache.hits")
         self._m_cache_misses = metrics.counter("aggregator.result_cache.misses")
         self._m_stragglers = metrics.counter("aggregator.stragglers_dropped")
+        self._m_hedges = metrics.counter("aggregator.hedges_issued")
+        self._m_hedge_wins = metrics.counter("aggregator.hedge_wins")
+        self._m_cancels = metrics.counter("aggregator.cancels_sent")
+        self._m_duplicates = metrics.counter("aggregator.duplicates_dropped")
         self._m_latency = metrics.histogram("aggregator.latency_ms")
         self._m_budget = metrics.histogram("aggregator.time_budget_ms")
         self._m_slack = metrics.histogram("aggregator.budget_slack_ms")
         self._m_selected = metrics.histogram("aggregator.selected_isns", lo=0.5, hi=1e4)
 
+    @property
+    def isns(self) -> list[ISNServer]:
+        """Each shard's primary replica (the pre-replication view)."""
+        return [group[0] for group in self.groups]
+
     # ---------------------------------------------------------------- intake
     def view(self) -> ClusterView:
         return ClusterView(
             now_ms=self.sim.now,
-            n_shards=len(self.isns),
+            n_shards=len(self.groups),
             default_freq_ghz=self._default_freq,
             max_freq_ghz=self._max_freq,
             queued_predicted_ms=tuple(
-                isn.queued_work_default_ms for isn in self.isns
+                self.selector.queue_view(group) for group in self.groups
             ),
         )
 
     def on_query(self, query: Query) -> None:
         """Entry point, fired by the engine at the query's arrival time."""
         arrival = self.sim.now
+        self.queries_seen += 1
         tracer = self._tracer
         qspan = None
         if tracer is not None:
@@ -161,6 +241,7 @@ class Aggregator:
             arrival_ms=arrival,
             decision=decision,
             dispatch_ms=dispatch_ms,
+            deadline_ms=deadline,
             expected=set(decision.shard_ids),
             span=qspan,
         )
@@ -169,18 +250,37 @@ class Aggregator:
             if decision.time_budget_ms is not None:
                 self._m_budget.observe(decision.time_budget_ms)
 
+        mode = self.replication.mode
         for sid in decision.shard_ids:
-            isn = self.isns[sid]
-            freq = decision.frequency_overrides.get(sid, self._default_freq)
-            job = isn.make_job(
-                query,
-                freq_ghz=freq,
-                deadline_ms=deadline,
-                on_done=lambda job, ok, busy, p=pending, s=sid: self._on_isn_done(
-                    p, s, job, ok, busy
-                ),
+            group = self.groups[sid]
+            order = self.selector.order(sid, group, arrival)
+            request = _ShardRequest(shard_id=sid)
+            pending.requests[sid] = request
+            primary = self._launch(
+                pending, request, order[0], "primary", at_ms=dispatch_ms
             )
-            self.sim.schedule_at(dispatch_ms, lambda i=isn, j=job: i.submit(j, self.sim))
+            if len(group) < 2:
+                continue  # hedged/tied degrade to primary-only
+            if mode == "tied":
+                self._launch(pending, request, order[1], "tied", at_ms=dispatch_ms)
+            elif mode == "hedged":
+                request.backup_replica = order[1]
+                request.hedge_scheduled = True
+                backup_queue = group[order[1]].queued_work_default_ms
+                predicted = decision.predicted_service_ms.get(
+                    sid, primary.job.service_default_ms
+                )
+                delay = hedge_delay_ms(
+                    decision.time_budget_ms,
+                    predicted,
+                    backup_queue,
+                    self.network.delay_ms(),
+                    self.replication,
+                )
+                self.sim.schedule_at(
+                    dispatch_ms + delay,
+                    lambda p=pending, s=sid: self._fire_hedge(p, s),
+                )
 
         if deadline is not None:
             # Hard stop: merge whatever has arrived once responses from the
@@ -200,35 +300,136 @@ class Aggregator:
                 lambda p=pending: self._finalize(p),
             )
 
+    # ---------------------------------------------------------------- dispatch
+    def _launch(
+        self,
+        pending: _PendingQuery,
+        request: _ShardRequest,
+        replica_id: int,
+        role: str,
+        at_ms: float | None,
+    ) -> _Attempt:
+        """Create a job on one replica and submit it (now, or at ``at_ms``)."""
+        sid = request.shard_id
+        isn = self.groups[sid][replica_id]
+        freq = pending.decision.frequency_overrides.get(sid, self._default_freq)
+        job = isn.make_job(
+            pending.query,
+            freq_ghz=freq,
+            deadline_ms=pending.deadline_ms,
+            on_done=lambda job, ok, busy, p=pending, s=sid, r=replica_id: (
+                self._on_isn_done(p, s, r, job, ok, busy)
+            ),
+        )
+        attempt = _Attempt(
+            replica_id=replica_id,
+            job=job,
+            role=role,
+            issued_ms=at_ms if at_ms is not None else self.sim.now,
+        )
+        request.attempts[replica_id] = attempt
+        if at_ms is None:
+            isn.submit(job, self.sim)
+        else:
+            self.sim.schedule_at(at_ms, lambda i=isn, j=job: i.submit(j, self.sim))
+        return attempt
+
+    def _fire_hedge(self, pending: _PendingQuery, shard_id: int) -> None:
+        """The hedge instant arrived: spend the backup iff still useful."""
+        request = pending.requests[shard_id]
+        request.hedge_scheduled = False
+        if pending.finalized or request.won:
+            return  # the primary answered in time — no replica spent
+        replica = request.backup_replica
+        if replica is None or replica in request.attempts:
+            return
+        self.hedges_issued += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "aggregator.hedge_issued", track=_TRACK,
+                qid=pending.query.query_id, shard=shard_id, replica=replica,
+            )
+            self._m_hedges.add()
+        self._launch(pending, request, replica, "hedge", at_ms=None)
+
     # ---------------------------------------------------------------- results
     def _on_isn_done(
-        self, pending: _PendingQuery, shard_id: int, job: Job, completed: bool, busy_ms: float
+        self,
+        pending: _PendingQuery,
+        shard_id: int,
+        replica_id: int,
+        job: Job,
+        completed: bool,
+        busy_ms: float,
     ) -> None:
+        request = pending.requests[shard_id]
+        attempt = request.attempts[replica_id]
+        attempt.done = True
+        isn = self.groups[shard_id][replica_id]
         partial_docs = job.result.cost.docs_evaluated
-        service = self.isns[shard_id].cost_model.service_ms(job.result.cost, job.freq_ghz)
+        service = isn.cost_model.service_ms(job.result.cost, job.freq_ghz)
         if not completed and service > 0:
             partial_docs = int(round(partial_docs * min(busy_ms / service, 1.0)))
-        pending.outcomes[shard_id] = ShardOutcome(
+        if job.cancelled:
+            partial_docs = 0
+            self.cancelled_in_queue += 1
+        pending.outcomes[(shard_id, replica_id)] = ShardOutcome(
             shard_id=shard_id,
             service_ms=busy_ms,
-            queued_ms=max(job.started_ms - pending.dispatch_ms, 0.0),
+            queued_ms=max(job.started_ms - attempt.issued_ms, 0.0),
             freq_ghz=job.freq_ghz,
             completed=completed,
             counted=False,
             docs_evaluated=partial_docs,
+            replica_id=replica_id,
+            role=attempt.role,
+            cancelled=job.cancelled,
         )
+        self.total_service_ms += busy_ms
         if completed:
+            attempt.completed = True
             # Response travels back; count it on arrival.
             self.sim.schedule(
                 self.network.delay_ms(),
-                lambda p=pending, s=shard_id, r=job.result: self._on_response(p, s, r),
+                lambda p=pending, s=shard_id, r=replica_id, res=job.result: (
+                    self._on_response(p, s, r, res)
+                ),
             )
         else:
-            pending.expected.discard(shard_id)
+            self._give_up_if_dead(pending, request)
+
+    def _give_up_if_dead(self, pending: _PendingQuery, request: _ShardRequest) -> None:
+        """Stop waiting for a shard once no attempt can answer any more.
+
+        A fail-silent (fault-dropped) attempt never reports back, so its
+        ``done`` flag stays False and the shard stays expected — exactly
+        the pre-replication semantics: the aggregator only learns about a
+        dead ISN through its deadline or response timeout (unless a hedge
+        is still to come and routes around it).
+        """
+        if request.won or pending.finalized:
+            return
+        if request.hedge_scheduled:
+            return  # a backup may still be issued
+        if any(
+            request.attempts[rid].completed for rid in sorted(request.attempts)
+        ):
+            # Another attempt finished in time and its response is still on
+            # the wire (e.g. a hedge that beat a primary aborting exactly at
+            # the deadline): not dead — the response decides this shard.
+            return
+        if all(
+            request.attempts[rid].done for rid in sorted(request.attempts)
+        ):
+            pending.expected.discard(request.shard_id)
             self._maybe_finalize(pending)
 
     def _on_response(
-        self, pending: _PendingQuery, shard_id: int, result: SearchResult
+        self,
+        pending: _PendingQuery,
+        shard_id: int,
+        replica_id: int,
+        result: SearchResult,
     ) -> None:
         if pending.finalized:
             # Straggler: dropped at the aggregator (paper step 7).
@@ -239,9 +440,50 @@ class Aggregator:
                 )
                 self._m_stragglers.add()
             return
+        request = pending.requests[shard_id]
+        if request.won:
+            # The shard already answered through another replica (the
+            # tied loser was in service when the recall arrived, or both
+            # hedge and primary completed): exactly-once merge drops it.
+            self.duplicates_dropped += 1
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "aggregator.duplicate_dropped", track=_TRACK,
+                    qid=pending.query.query_id, shard=shard_id,
+                    replica=replica_id,
+                )
+                self._m_duplicates.add()
+            return
+        request.won = True
+        request.winner_replica = replica_id
+        if request.attempts[replica_id].role == "hedge":
+            self.hedge_wins += 1
+            if self._tracer is not None:
+                self._m_hedge_wins.add()
         pending.responses[shard_id] = result
+        # Recall the losers: the cancel message takes one network hop and
+        # only reaches jobs still queued (cancel-after-finish is a no-op).
+        # Sorted so same-instant cancel deliveries tie-break identically
+        # across runs.
+        for other in sorted(
+            request.attempts.values(), key=lambda a: a.replica_id
+        ):
+            if other.replica_id != replica_id and not other.done:
+                self.cancels_sent += 1
+                if self._tracer is not None:
+                    self._m_cancels.add()
+                self.sim.schedule(
+                    self.network.delay_ms(),
+                    lambda s=shard_id, a=other: self._deliver_cancel(s, a),
+                )
         pending.expected.discard(shard_id)
         self._maybe_finalize(pending)
+
+    def _deliver_cancel(self, shard_id: int, attempt: _Attempt) -> None:
+        if attempt.done:
+            return  # finished or aborted while the recall was in flight
+        isn = self.groups[shard_id][attempt.replica_id]
+        isn.cancel(attempt.job, self.sim)
 
     def _maybe_finalize(self, pending: _PendingQuery) -> None:
         if not pending.finalized and not pending.expected:
@@ -252,8 +494,11 @@ class Aggregator:
             return
         pending.finalized = True
         for sid in pending.responses:
-            if sid in pending.outcomes:
-                pending.outcomes[sid].counted = True
+            request = pending.requests[sid]
+            outcome = pending.outcomes.get((sid, request.winner_replica))
+            if outcome is not None:
+                outcome.counted = True
+                self.counted_service_ms += outcome.service_ms
         tracer = self._tracer
         if tracer is None:
             merged = merge_results(list(pending.responses.values()), self.k)
@@ -286,7 +531,10 @@ class Aggregator:
             latency_ms=self.sim.now - pending.arrival_ms,
             result=merged,
             decision=pending.decision,
-            outcomes=sorted(pending.outcomes.values(), key=lambda o: o.shard_id),
+            outcomes=sorted(
+                pending.outcomes.values(),
+                key=lambda o: (o.shard_id, o.replica_id),
+            ),
         )
         self._commit(record)
 

@@ -19,6 +19,7 @@ from repro.cluster.governor import FrequencyGovernor
 from repro.cluster.isn import ISNServer
 from repro.cluster.network import NetworkModel
 from repro.cluster.power import EnergyMeter, PowerModel, PowerReport, package_report
+from repro.cluster.replicas import ReplicationConfig, make_selector
 from repro.cluster.sleep import SleepPolicy
 from repro.cluster.types import QueryRecord, SelectionPolicy
 from repro.index.shard import IndexShard
@@ -46,9 +47,30 @@ class RunResult:
     clamped_schedules: int = 0
     searcher_hits: int = 0
     searcher_computations: int = 0
+    # Tail-tolerance accounting (all zero without replication).
+    hedges_issued: int = 0
+    hedge_wins: int = 0
+    cancels_sent: int = 0
+    cancelled_in_queue: int = 0
+    duplicates_dropped: int = 0
+    total_service_ms: float = 0.0
+    counted_service_ms: float = 0.0
 
     def latencies_ms(self) -> list[float]:
         return [record.latency_ms for record in self.records]
+
+    @property
+    def wasted_service_ms(self) -> float:
+        """ISN busy time whose response was never merged: hedged/tied
+        losers, deadline aborts, post-finalize stragglers."""
+        return self.total_service_ms - self.counted_service_ms
+
+    @property
+    def wasted_work_ratio(self) -> float:
+        """Fraction of all ISN busy time that was wasted (0 when idle)."""
+        if self.total_service_ms <= 0:
+            return 0.0
+        return self.wasted_service_ms / self.total_service_ms
 
 
 class SearchCluster:
@@ -103,6 +125,7 @@ class SearchCluster:
         sleep: SleepPolicy | None = None,
         prewarm: bool | None = None,
         telemetry: Telemetry | None = None,
+        replication: ReplicationConfig | None = None,
     ) -> RunResult:
         """Replay ``trace`` under ``policy`` and report latency + power.
 
@@ -114,6 +137,14 @@ class SearchCluster:
         fail-silent ISN outages; pair unbudgeted policies with
         ``response_timeout_ms`` so the aggregator cannot wait forever.
         ``sleep`` enables PowerNap-style idle naps on every ISN.
+
+        ``replication`` runs R independent ISN replicas per shard (each
+        with its own queue, CPU and meter, sharing the shard's memoized
+        searcher) and enables the configured dispatch mode — hedged or
+        tied requests against stragglers (see
+        :mod:`repro.cluster.replicas`).  The default (one replica,
+        ``primary`` mode, ``static`` selector) is bit-identical to the
+        pre-replication cluster.
 
         ``prewarm`` pipelines the whole trace's retrieval through the
         cluster executor before the event loop starts, so the serial
@@ -174,25 +205,36 @@ class SearchCluster:
                             n_queries=len(trace.queries),
                         ):
                             policy_prewarm(trace.queries)
-            meters = [EnergyMeter(self.power_model) for _ in self.shards]
-            isns = [
-                ISNServer(
-                    shard_id=i,
-                    searcher=self.searcher.searchers[i],
-                    cost_model=self.cost_model,
-                    freq_scale=self.freq_scale,
-                    meter=meters[i],
-                    governor=governor,
-                    faults=faults,
-                    sleep=sleep,
-                    telemetry=telemetry,
-                )
+            repl = replication or ReplicationConfig()
+            # Meters stay a flat list (shard-major: shard i's replica r is
+            # meters[i * R + r]) so package_report sums the whole cluster.
+            meters = [
+                EnergyMeter(self.power_model)
+                for _ in range(self.n_shards * repl.n_replicas)
+            ]
+            groups = [
+                [
+                    ISNServer(
+                        shard_id=i,
+                        searcher=self.searcher.searchers[i],
+                        cost_model=self.cost_model,
+                        freq_scale=self.freq_scale,
+                        meter=meters[i * repl.n_replicas + r],
+                        governor=governor,
+                        faults=faults,
+                        sleep=sleep,
+                        telemetry=telemetry,
+                        replica_id=r,
+                    )
+                    for r in range(repl.n_replicas)
+                ]
                 for i in range(self.n_shards)
             ]
             aggregator = Aggregator(
-                isns=isns, policy=policy, network=self.network, sim=sim, k=self.k,
+                isns=groups, policy=policy, network=self.network, sim=sim, k=self.k,
                 cache=cache, response_timeout_ms=response_timeout_ms,
-                telemetry=telemetry,
+                telemetry=telemetry, replication=repl,
+                selector=make_selector(repl),
             )
             for query in trace:
                 sim.schedule_at(
@@ -208,8 +250,9 @@ class SearchCluster:
                 ):
                     sim.run()
             elapsed = max(sim.now, trace.duration * 1000.0, 1e-9)
-            for isn in isns:
-                isn.finalize_sleep(elapsed)
+            for group in groups:
+                for isn in group:
+                    isn.finalize_sleep(elapsed)
         finally:
             if tracer is not None:
                 telemetry.unbind_clock()
@@ -235,6 +278,13 @@ class SearchCluster:
             clamped_schedules=sim.clamped_schedules,
             searcher_hits=hits_after - cache_before[0],
             searcher_computations=comps_after - cache_before[1],
+            hedges_issued=aggregator.hedges_issued,
+            hedge_wins=aggregator.hedge_wins,
+            cancels_sent=aggregator.cancels_sent,
+            cancelled_in_queue=aggregator.cancelled_in_queue,
+            duplicates_dropped=aggregator.duplicates_dropped,
+            total_service_ms=aggregator.total_service_ms,
+            counted_service_ms=aggregator.counted_service_ms,
         )
 
     def _searcher_totals(self) -> tuple[int, int]:

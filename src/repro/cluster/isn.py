@@ -38,11 +38,17 @@ class Job:
     started_ms: float = 0.0
     boosted: bool = False
     aborted_in_queue: bool = field(default=False, init=False)
+    cancelled: bool = field(default=False, init=False)  # tied/hedged recall
     span: object | None = field(default=None, init=False)  # telemetry service span
 
 
 class ISNServer:
-    """Single-worker FIFO query server over one shard."""
+    """Single-worker FIFO query server over one shard replica.
+
+    ``replica_id`` distinguishes the R independent instances a replicated
+    cluster runs per shard (each with its own queue, CPU and meter);
+    single-replica clusters leave it at 0.
+    """
 
     def __init__(
         self,
@@ -55,8 +61,10 @@ class ISNServer:
         faults: FaultSchedule | None = None,
         sleep: SleepPolicy | None = None,
         telemetry: Telemetry | None = None,
+        replica_id: int = 0,
     ) -> None:
         self.shard_id = shard_id
+        self.replica_id = replica_id
         self.searcher = searcher
         self.cost_model = cost_model
         self.freq_scale = freq_scale
@@ -68,7 +76,11 @@ class ISNServer:
         # hot-path check is a single attribute test (zero allocation).
         telemetry = telemetry or NO_TELEMETRY
         self._tracer = telemetry.tracer if telemetry.enabled else None
-        self._track = f"isn.{shard_id}"
+        # Replica 0 keeps the pre-replication track name so existing
+        # trace tooling (and exported Perfetto baselines) line up.
+        self._track = (
+            f"isn.{shard_id}" if replica_id == 0 else f"isn.{shard_id}.r{replica_id}"
+        )
         self._metrics = telemetry.metrics
         self._m_queue_depth = self._metrics.histogram("isn.queue_depth", lo=0.5, hi=1e4)
         self._m_queued_work = self._metrics.histogram("isn.queued_work_ms")
@@ -78,6 +90,7 @@ class ISNServer:
         self.queued_work_default_ms = 0.0  # remaining work, default-frequency ms
         self.jobs_processed = 0
         self.jobs_aborted = 0
+        self.jobs_cancelled = 0
         self.jobs_lost_to_faults = 0
         self.wakeups = 0
 
@@ -106,7 +119,9 @@ class ISNServer:
         )
 
     def submit(self, job: Job, sim: Simulator) -> None:
-        if self.faults is not None and self.faults.is_down(self.shard_id, sim.now):
+        if self.faults is not None and self.faults.is_down(
+            self.shard_id, sim.now, self.replica_id
+        ):
             # Fail-silent: the request vanishes; the aggregator learns only
             # through its deadline or response timeout.
             self.jobs_lost_to_faults += 1
@@ -126,6 +141,34 @@ class ISNServer:
             self._m_queued_work.observe(self.queued_work_default_ms)
         if not self._busy:
             self._start_next(sim)
+
+    def cancel(self, job: Job, sim: Simulator) -> bool:
+        """Recall a queued job (a tied/hedged request that lost the race).
+
+        Only jobs still waiting can be recalled — an in-service job keeps
+        running (the core is already committed; its late response is the
+        caller's to drop) and a finished one is gone.  Returns whether
+        the job was still queued.  A successful recall releases the job's
+        pending-work contribution and reports ``on_done(job, False, 0.0)``
+        with ``job.cancelled`` set, so the aggregator's attempt
+        accounting sees exactly one completion per attempt.
+        """
+        try:
+            self._queue.remove(job)
+        except ValueError:
+            return False
+        job.cancelled = True
+        self.jobs_cancelled += 1
+        if self._tracer is not None:
+            self._tracer.instant(
+                "isn.cancelled_in_queue", track=self._track,
+                qid=job.query.query_id, shard=self.shard_id,
+                replica=self.replica_id,
+            )
+            self._metrics.counter("isn.cancelled_in_queue").add()
+        self._release_work(job)
+        job.on_done(job, False, 0.0)
+        return True
 
     # ------------------------------------------------------------- execution
     def _start_next(self, sim: Simulator) -> None:
@@ -168,9 +211,18 @@ class ISNServer:
                 self.cost_model, self.freq_scale,
             )
             job.boosted = job.freq_ghz > self.freq_scale.default_ghz + 1e-12
-            service = wake_ms + self.cost_model.service_ms(
-                job.result.cost, job.freq_ghz
-            )
+            service_ms = self.cost_model.service_ms(job.result.cost, job.freq_ghz)
+            if self.faults is not None:
+                # Straggler injection: the replica silently serves this
+                # job slower (GC pause, noisy neighbour).  The factor is
+                # sampled once at service start — the ISN's own backlog
+                # estimate (queued_work_default_ms) deliberately stays
+                # unaware, because the upstream latency predictor would
+                # not know either.
+                service_ms *= self.faults.slowdown_factor(
+                    self.shard_id, sim.now, self.replica_id
+                )
+            service = wake_ms + service_ms
             if job.deadline_ms is not None and sim.now + service > job.deadline_ms:
                 # Will miss the budget: work until the deadline, then abort.
                 busy = job.deadline_ms - sim.now

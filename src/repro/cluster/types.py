@@ -52,12 +52,19 @@ class Decision:
     coordination_delay_ms:
         Aggregator-side decision latency to charge before dispatch (e.g.
         Cottage's predict-and-report round, Rank-S's CSI search).
+    predicted_service_ms:
+        The policy's latency predictor's per-shard service-time estimate
+        (default-frequency ms, queue excluded).  Optional; when present
+        the aggregator's hedge planner derives the hedge delay from it
+        instead of from the oracle service time (see
+        :func:`repro.cluster.replicas.hedge_delay_ms`).
     """
 
     shard_ids: tuple[int, ...]
     time_budget_ms: float | None = None
     frequency_overrides: dict[int, float] = field(default_factory=dict)
     coordination_delay_ms: float = 0.0
+    predicted_service_ms: dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if len(set(self.shard_ids)) != len(self.shard_ids):
@@ -69,11 +76,22 @@ class Decision:
         for sid in self.frequency_overrides:
             if sid not in self.shard_ids:
                 raise ValueError("frequency override for unselected shard")
+        for sid, predicted in self.predicted_service_ms.items():
+            if sid not in self.shard_ids:
+                raise ValueError("service prediction for unselected shard")
+            if predicted < 0:
+                raise ValueError("predicted service time must be non-negative")
 
 
 @dataclass
 class ShardOutcome:
-    """What happened on one selected ISN for one query."""
+    """What happened on one dispatch attempt (one ISN replica, one query).
+
+    With replication a query may spawn several attempts per shard
+    (primary + hedge, or a tied pair); each gets its own outcome.
+    ``role`` records why the attempt was issued and ``cancelled`` marks a
+    tied/hedged loser recalled while still queued (zero work spent).
+    """
 
     shard_id: int
     service_ms: float = 0.0
@@ -82,6 +100,9 @@ class ShardOutcome:
     completed: bool = False
     counted: bool = False  # response arrived in time and was merged
     docs_evaluated: int = 0
+    replica_id: int = 0
+    role: str = "primary"  # primary | hedge | tied
+    cancelled: bool = False
 
 
 @dataclass
@@ -108,6 +129,23 @@ class QueryRecord:
     @property
     def n_counted(self) -> int:
         return sum(1 for outcome in self.outcomes if outcome.counted)
+
+    @property
+    def n_dropped_shards(self) -> int:
+        """Selected shards that contributed nothing to the merged answer.
+
+        The quality-loss accounting unit: every dropped shard removes its
+        (potential) top-K contribution from the response.  With replicas,
+        a shard counts as answered if *any* of its attempts was merged.
+        """
+        answered = {o.shard_id for o in self.outcomes if o.counted}
+        return sum(1 for sid in self.decision.shard_ids if sid not in answered)
+
+    @property
+    def wasted_service_ms(self) -> float:
+        """Busy time spent on attempts whose response was not merged —
+        hedged/tied losers, deadline aborts, post-finalize stragglers."""
+        return sum(o.service_ms for o in self.outcomes if not o.counted)
 
     @property
     def docs_searched(self) -> int:

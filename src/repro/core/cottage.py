@@ -193,6 +193,13 @@ class CottagePolicy(BasePolicy):
             metrics.counter("cottage.cut_too_slow").add(len(decision.cut_too_slow))
             metrics.counter("cottage.boosted").add(len(decision.boosted))
             metrics.counter("cottage.kept").add(len(decision.selected))
+        # The bank's per-shard service predictions ride along on the
+        # decision so the aggregator's hedge planner works from the same
+        # estimates Algorithm 1 did (bank.predict is memoized — this
+        # re-read costs a dict lookup).
+        predicted = {
+            p.shard_id: p.service_default_ms for p in self.bank.predict(query)
+        }
         if not decision.selected:
             # Predicted zero quality everywhere — run the single most
             # plausible shard instead of answering empty (a pure fallback;
@@ -203,6 +210,7 @@ class CottagePolicy(BasePolicy):
             return Decision(
                 shard_ids=(best.shard_id,),
                 coordination_delay_ms=self.coordination_delay_ms(),
+                predicted_service_ms={best.shard_id: predicted[best.shard_id]},
             )
         # Algorithm 1 always sets a budget when anything is selected.
         assert decision.time_budget_ms is not None
@@ -217,4 +225,7 @@ class CottagePolicy(BasePolicy):
             time_budget_ms=budget,
             frequency_overrides=overrides,
             coordination_delay_ms=self.coordination_delay_ms(),
+            predicted_service_ms={
+                sid: predicted[sid] for sid in decision.selected
+            },
         )

@@ -53,6 +53,46 @@ class TestCommands:
             main(["figure", "fig04", "--scale", "enormous"])
 
 
+class TestFaultsCommand:
+    def test_faults_args(self):
+        args = build_parser().parse_args(
+            ["faults", "--scenarios", "outage", "slow_replica",
+             "--policies", "cottage", "--replicas", "3", "--seed", "9",
+             "--out", "m.json"]
+        )
+        assert args.scenarios == ["outage", "slow_replica"]
+        assert args.policies == ["cottage"]
+        assert args.replicas == 3
+        assert args.seed == 9
+        assert args.out == "m.json"
+
+    def test_unknown_scenario_exits_one(self, capsys):
+        assert main(["faults", "--scenarios", "meteor_strike"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_faults_matrix_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_faults.json"
+        code = main(
+            ["faults", "--scale", "unit", "--scenarios", "outage",
+             "--policies", "exhaustive", "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "scenario" in stdout and "outage" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["scale"] == "unit"
+        assert payload["response_timeout_ms"] == 150.0
+        # One primary baseline plus hedged and tied cells.
+        assert len(payload["cells"]) == 3
+        modes = {cell["mode"] for cell in payload["cells"]}
+        assert modes == {"primary", "hedged", "tied"}
+        for cell in payload["cells"]:
+            assert cell["scenario"] == "outage"
+            assert cell["p99_latency_ms"] > 0.0
+
+
 class TestLintCommand:
     """The `repro lint` exit-code contract: 0 clean, 1 findings, 2 error."""
 

@@ -1,9 +1,11 @@
 """Tests for fault injection and graceful degradation."""
 
+import random
+
 import numpy as np
 import pytest
 
-from repro.cluster import FaultSchedule, Outage, SearchCluster
+from repro.cluster import FaultSchedule, Outage, SearchCluster, Slowdown
 from repro.policies import ExhaustivePolicy
 from repro.retrieval import Query, QueryTrace
 
@@ -38,6 +40,116 @@ class TestFaultSchedule:
             Outage(0, 20.0, 10.0)
         with pytest.raises(ValueError):
             Outage(-1, 0.0, 1.0)
+
+
+class TestPerReplicaFaults:
+    """Replica-addressed outages and slowdowns (the replication axis)."""
+
+    def test_replica_outage_spares_the_siblings(self):
+        schedule = FaultSchedule(outages=[Outage(0, 0.0, 100.0, replica_id=1)])
+        assert schedule.is_down(0, 50.0, replica_id=1)
+        assert not schedule.is_down(0, 50.0, replica_id=0)
+        assert not schedule.is_down(0, 50.0)  # default replica 0
+
+    def test_whole_shard_outage_covers_every_replica(self):
+        schedule = FaultSchedule.single(0, 0.0, 100.0)
+        for rid in range(3):
+            assert schedule.is_down(0, 50.0, replica_id=rid)
+
+    def test_slowdown_factor_defaults_to_unity(self):
+        assert FaultSchedule().slowdown_factor(0, 10.0) == 1.0
+
+    def test_slowdown_window_and_replica_addressing(self):
+        schedule = FaultSchedule.straggler(0, 10.0, 20.0, factor=4.0, replica_id=1)
+        assert schedule.slowdown_factor(0, 15.0, replica_id=1) == 4.0
+        assert schedule.slowdown_factor(0, 15.0, replica_id=0) == 1.0
+        assert schedule.slowdown_factor(0, 25.0, replica_id=1) == 1.0  # half-open
+        assert schedule.slowdown_factor(1, 15.0, replica_id=1) == 1.0
+
+    def test_shard_and_replica_slowdowns_compose_multiplicatively(self):
+        # A rack-wide throttle on top of a replica-local GC pause.
+        schedule = FaultSchedule(
+            slowdowns=[
+                Slowdown(0, 0.0, 100.0, 2.0),
+                Slowdown(0, 0.0, 100.0, 3.0, replica_id=0),
+            ]
+        )
+        assert schedule.slowdown_factor(0, 50.0, replica_id=0) == 6.0
+        assert schedule.slowdown_factor(0, 50.0, replica_id=1) == 2.0
+
+    def test_same_replica_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                slowdowns=[
+                    Slowdown(0, 0.0, 30.0, 2.0, replica_id=1),
+                    Slowdown(0, 20.0, 40.0, 3.0, replica_id=1),
+                ]
+            )
+
+    def test_different_replicas_may_overlap(self):
+        schedule = FaultSchedule(
+            slowdowns=[
+                Slowdown(0, 0.0, 30.0, 2.0, replica_id=0),
+                Slowdown(0, 10.0, 40.0, 3.0, replica_id=1),
+            ]
+        )
+        assert schedule.slowdown_factor(0, 15.0, replica_id=0) == 2.0
+        assert schedule.slowdown_factor(0, 15.0, replica_id=1) == 3.0
+
+    def test_slowdown_validation(self):
+        with pytest.raises(ValueError):
+            Slowdown(0, 0.0, 10.0, factor=0.0)
+        with pytest.raises(ValueError):
+            Slowdown(0, 10.0, 5.0, factor=2.0)
+        with pytest.raises(ValueError):
+            Slowdown(0, 0.0, 10.0, factor=2.0, replica_id=-1)
+
+    def test_downtime_filters_by_replica(self):
+        schedule = FaultSchedule(
+            outages=[
+                Outage(0, 0.0, 10.0),  # every replica
+                Outage(0, 20.0, 25.0, replica_id=1),
+            ]
+        )
+        assert schedule.downtime_ms(0) == 15.0
+        assert schedule.downtime_ms(0, replica_id=1) == 15.0
+        assert schedule.downtime_ms(0, replica_id=0) == 10.0
+
+
+class TestRandomTimelines:
+    """The random_* constructors are pure functions of their seed."""
+
+    def test_random_flaky_is_seed_deterministic(self):
+        a = FaultSchedule.random_flaky(0, 1000.0, random.Random(42))
+        b = FaultSchedule.random_flaky(0, 1000.0, random.Random(42))
+        assert a.outages == b.outages
+        c = FaultSchedule.random_flaky(0, 1000.0, random.Random(43))
+        assert a.outages != c.outages
+
+    def test_random_flaky_stays_inside_the_horizon(self):
+        schedule = FaultSchedule.random_flaky(
+            2, 500.0, random.Random(7), mean_up_ms=40.0, mean_down_ms=20.0
+        )
+        assert schedule.outages
+        for outage in schedule.outages:
+            assert outage.shard_id == 2
+            assert 0.0 <= outage.start_ms < outage.end_ms <= 500.0
+
+    def test_random_stragglers_is_seed_deterministic(self):
+        a = FaultSchedule.random_stragglers(4, 1000.0, random.Random(5), n_replicas=2)
+        b = FaultSchedule.random_stragglers(4, 1000.0, random.Random(5), n_replicas=2)
+        assert a.slowdowns == b.slowdowns
+
+    def test_random_stragglers_never_overlap_per_replica(self):
+        # Valid for any draw: construction pushes same-replica events apart
+        # (an overlap would raise in FaultSchedule.__post_init__).
+        for seed in range(8):
+            schedule = FaultSchedule.random_stragglers(
+                2, 300.0, random.Random(seed), n_events=12, n_replicas=2
+            )
+            assert len(schedule.slowdowns) == 12
+            for slowdown in schedule.slowdowns:
+                assert 0 <= slowdown.replica_id < 2
 
 
 @pytest.fixture()
