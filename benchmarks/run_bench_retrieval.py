@@ -7,9 +7,11 @@ report, and writes ``BENCH_retrieval.json`` for the perf trajectory
 
     python benchmarks/run_bench_retrieval.py --out BENCH_retrieval.json
 
-Exits nonzero if any strategy pair ever disagrees bit-for-bit, or if
-the MaxScore kernel speedup falls below ``--fail-below`` (default 3x —
-the floor the kernels were tuned against at this corpus scale).
+Exits nonzero if any strategy pair ever disagrees bit-for-bit, if the
+MaxScore kernel speedup falls below ``--fail-below`` (default 3x — the
+floor the kernels were tuned against at this corpus scale), or if the
+galloping conjunctive kernel falls below ``--fail-below-conjunctive``
+(default 2.5x).
 """
 
 from __future__ import annotations
@@ -43,6 +45,10 @@ def main(argv: list[str] | None = None) -> int:
         "--fail-below", type=float, default=3.0,
         help="exit nonzero if the maxscore speedup falls below this factor",
     )
+    parser.add_argument(
+        "--fail-below-conjunctive", type=float, default=2.5,
+        help="exit nonzero if the conjunctive speedup falls below this factor",
+    )
     args = parser.parse_args(argv)
 
     print(
@@ -73,6 +79,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: maxscore kernel speedup {maxscore:.2f}x below "
             f"--fail-below {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    conjunctive = result.speedup("conjunctive")
+    if conjunctive < args.fail_below_conjunctive:
+        print(
+            f"FAIL: conjunctive kernel speedup {conjunctive:.2f}x below "
+            f"--fail-below-conjunctive {args.fail_below_conjunctive:.2f}x",
             file=sys.stderr,
         )
         return 1

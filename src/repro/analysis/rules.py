@@ -38,6 +38,7 @@ __all__ = [
     "TelBindRule",
     "MutDefaultRule",
     "ParSharedRule",
+    "ParPickleRule",
 ]
 
 
@@ -628,3 +629,84 @@ def _under_lock(node: ast.AST, closure: ast.AST) -> bool:
             if sub is node:
                 return True
     return False
+
+
+# --------------------------------------------------------------------------
+# PAR-PICKLE
+# --------------------------------------------------------------------------
+
+
+@register
+class ParPickleRule(Rule):
+    """Process pools must receive picklable module-level callables.
+
+    A ``ProcessExecutor`` (or raw ``ProcessPoolExecutor``) pickles every
+    submitted task into the worker; lambdas and nested functions fail at
+    pickle time with an error far from the submission site — or worse,
+    a closure over a live shard would ship a full copy of the index to
+    every worker if it *did* pickle.  The sanctioned pattern is a
+    descriptor dataclass (``ShardSearchTask``) resolved against the
+    worker's attach registry.
+
+    Detection is lexical, like every simlint rule: ``.map``/``.submit``
+    calls whose receiver expression mentions "process" are checked for
+    lambda arguments (including lambdas inside list/generator argument
+    expressions) and for references to functions defined in the
+    enclosing function body.
+    """
+
+    id = "PAR-PICKLE"
+    summary = "lambda/closure handed to a process pool"
+    rationale = (
+        "Closures do not pickle across the process boundary; workers "
+        "need importable descriptors, not captured live objects."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            nested = {
+                node.name
+                for node in ast.walk(func)
+                if node is not func
+                and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for node in ast.walk(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("submit", "map")
+                    and self._process_receiver(node.func.value)
+                ):
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    yield from self._unpicklable_args(ctx, arg, nested)
+
+    def _process_receiver(self, expr: ast.expr) -> bool:
+        """Does the receiver expression lexically mention a process pool?"""
+        target = expr.func if isinstance(expr, ast.Call) else expr
+        text = dotted_name(target) or _name_base(target) or ""
+        return "process" in text.lower()
+
+    def _unpicklable_args(
+        self, ctx: FileContext, arg: ast.expr, nested: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Lambda):
+                yield ctx.finding(
+                    self.id, node,
+                    "lambda submitted to a process pool cannot pickle; "
+                    "pass a module-level descriptor (e.g. ShardSearchTask)",
+                )
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in nested
+            ):
+                yield ctx.finding(
+                    self.id, node,
+                    f"nested function {node.id!r} submitted to a process "
+                    "pool cannot pickle; hoist it to module level or pass "
+                    "a descriptor (e.g. ShardSearchTask)",
+                )

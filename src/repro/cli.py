@@ -91,18 +91,96 @@ def _cmd_build_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    """Generate a corpus and pack it straight into ``.store`` shards."""
+    from repro.index import build_shards, pack_shards, partition_topical
+    from repro.text import WhitespaceAnalyzer
+    from repro.workloads import SyntheticCorpus
+
+    scale = _scale(args.scale)
+    print(f"generating corpus ({scale.corpus.n_docs} docs)...")
+    corpus = SyntheticCorpus(scale.corpus)
+    print(f"indexing {scale.n_shards} shards...")
+    shards = build_shards(
+        partition_topical(corpus.documents, scale.n_shards, seed=scale.seed),
+        analyzer=WhitespaceAnalyzer(),
+    )
+    paths = pack_shards(shards, args.out)
+    print(f"packed {len(paths)} store shards to {args.out}")
+    return 0
+
+
+def _cmd_index_pack(args: argparse.Namespace) -> int:
+    """Re-pack a saved npz index into compressed mmap-backed stores."""
+    from repro.index import load_shards, pack_shards, store_info
+
+    shards = load_shards(args.index)
+    paths = pack_shards(shards, args.out)
+    total_file = total_raw = 0
+    for path in paths:
+        info = store_info(path)
+        total_file += info["file_bytes"]
+        total_raw += info["raw_column_bytes"]
+    ratio = total_raw / total_file if total_file else 1.0
+    print(
+        f"packed {len(paths)} shards to {args.out}: "
+        f"{total_file / 1e6:.2f} MB on disk vs {total_raw / 1e6:.2f} MB raw "
+        f"columns ({ratio:.2f}x compression)"
+    )
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    """Describe every ``.store`` shard in a packed index directory."""
+    from pathlib import Path
+
+    from repro.index import store_info
+
+    paths = sorted(Path(args.index).glob("shard_*.store"))
+    if not paths:
+        print(f"no shard_*.store files under {args.index}", file=sys.stderr)
+        return 1
+    for path in paths:
+        info = store_info(path)
+        meta = info["meta"]
+        print(
+            f"{path.name}: shard {meta['shard_id']}  "
+            f"{meta['n_docs']} docs  {meta['n_terms']} terms  "
+            f"{meta['n_postings']} postings  "
+            f"{info['file_bytes'] / 1e6:.2f} MB "
+            f"({info['compression_ratio']:.2f}x vs raw columns)"
+        )
+    return 0
+
+
+def _load_index(path: str):
+    """Open an index directory: ``.store`` files when present, else npz.
+
+    A directory packed by ``repro index pack`` holds compressed
+    mmap-backed ``shard_*.store`` files that open in O(1); legacy
+    ``build-index`` output holds ``shard_*.npz``.  Either works for
+    every command that reads an index.
+    """
+    from pathlib import Path
+
+    from repro.index import load_shards, open_stores
+
+    if sorted(Path(path).glob("shard_*.store")):
+        return open_stores(path)
+    return load_shards(path)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.index import load_shards
     from repro.retrieval import DistributedSearcher, Query, make_executor
     from repro.text import StandardAnalyzer, WhitespaceAnalyzer
 
-    shards = load_shards(args.index)
+    shards = _load_index(args.index)
     analyzer = WhitespaceAnalyzer() if args.raw_terms else StandardAnalyzer()
     query = Query.from_text(" ".join(args.terms), analyzer)
     if not query.terms:
         print("query analyzed to no terms", file=sys.stderr)
         return 1
-    with make_executor(args.workers) as executor:
+    with make_executor(args.workers, backend=args.backend) as executor:
         searcher = DistributedSearcher(
             shards, k=args.k, strategy=args.strategy, executor=executor
         )
@@ -348,17 +426,48 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--out", required=True, help="output directory")
     build.set_defaults(fn=_cmd_build_index)
 
+    index = sub.add_parser(
+        "index", help="compressed mmap-backed store shards (.store format)"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build", help="generate a corpus and pack store shards directly"
+    )
+    index_build.add_argument("--scale", default="small")
+    index_build.add_argument("--out", required=True, help="output directory")
+    index_build.set_defaults(fn=_cmd_index_build)
+    index_pack = index_sub.add_parser(
+        "pack", help="re-pack a saved npz index into .store shards"
+    )
+    index_pack.add_argument("index", help="directory written by build-index")
+    index_pack.add_argument("--out", required=True, help="output directory")
+    index_pack.set_defaults(fn=_cmd_index_pack)
+    index_info = index_sub.add_parser(
+        "info", help="describe every .store shard in a packed directory"
+    )
+    index_info.add_argument("index", help="directory of shard_*.store files")
+    index_info.set_defaults(fn=_cmd_index_info)
+
     workers_help = (
         "shard fan-out worker threads (default 1 = serial; results are "
         "bit-identical at any worker count)"
     )
+    backend_help = (
+        "fan-out mechanism: thread (default), process (workers attach "
+        "shards via mmap/shared memory), or serial; results are "
+        "bit-identical for every backend"
+    )
 
     search = sub.add_parser("search", help="query a saved index")
-    search.add_argument("index", help="directory written by build-index")
+    search.add_argument("index", help="directory written by build-index or index pack")
     search.add_argument("terms", nargs="+", help="query text")
     search.add_argument("-k", type=int, default=10)
     search.add_argument("--strategy", default="maxscore")
     search.add_argument("--workers", type=int, default=1, help=workers_help)
+    search.add_argument(
+        "--backend", default="thread", choices=("thread", "process", "serial"),
+        help=backend_help,
+    )
     search.add_argument(
         "--raw-terms", action="store_true",
         help="skip English analysis (synthetic 'tNNN' vocabularies)",

@@ -23,7 +23,12 @@ from repro.cluster.replicas import ReplicationConfig, make_selector
 from repro.cluster.sleep import SleepPolicy
 from repro.cluster.types import QueryRecord, SelectionPolicy
 from repro.index.shard import IndexShard
-from repro.retrieval.executor import SerialExecutor, ShardExecutor, prewarm_searchers
+from repro.retrieval.executor import (
+    SerialExecutor,
+    ShardExecutor,
+    make_executor,
+    prewarm_searchers,
+)
 from repro.retrieval.query import QueryTrace
 from repro.retrieval.searcher import DistributedSearcher, SearcherCacheStats
 from repro.telemetry import NO_TELEMETRY, Telemetry
@@ -55,6 +60,10 @@ class RunResult:
     duplicates_dropped: int = 0
     total_service_ms: float = 0.0
     counted_service_ms: float = 0.0
+    # Compressed-arena decode LRU accounting (zero when every shard's
+    # postings are uncompressed); per-run deltas like the memo counters.
+    decode_hits: int = 0
+    decode_misses: int = 0
 
     def latencies_ms(self) -> list[float]:
         return [record.latency_ms for record in self.records]
@@ -126,6 +135,8 @@ class SearchCluster:
         prewarm: bool | None = None,
         telemetry: Telemetry | None = None,
         replication: ReplicationConfig | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
     ) -> RunResult:
         """Replay ``trace`` under ``policy`` and report latency + power.
 
@@ -166,9 +177,44 @@ class SearchCluster:
         rebound to the disabled session afterwards.  Telemetry never changes a
         simulation outcome — runs are bit-identical with it on or off
         (pinned by ``tests/test_telemetry_integration.py``).
+
+        ``workers``/``backend`` override the cluster executor for this
+        run only: a temporary executor (``make_executor(workers,
+        backend)``) fans the prewarm out — ``backend="process"`` ships
+        shard searches to worker processes that attach the shards via
+        mmap/shared memory — and is closed and swapped back afterwards.
+        Outcomes stay bit-identical; only where the retrieval CPU time
+        is spent changes.
         """
+        if workers is not None or backend is not None:
+            override = make_executor(
+                workers if workers is not None else self.executor.workers,
+                backend=backend or "thread",
+            )
+            previous = self.executor
+            self.executor = self.searcher.executor = override
+            try:
+                return self.run_trace(
+                    trace,
+                    policy,
+                    governor=governor,
+                    cache=cache,
+                    faults=faults,
+                    response_timeout_ms=response_timeout_ms,
+                    sleep=sleep,
+                    prewarm=prewarm,
+                    telemetry=telemetry,
+                    replication=replication,
+                )
+            finally:
+                self.executor = previous
+                self.searcher.executor = previous
+                override.close()
         if prewarm is None:
-            prewarm_retrieval = self.executor.workers > 1
+            # Remote executors only move retrieval off-process during the
+            # prewarm fan-out (replay hits the ISNs' local memos), so they
+            # always prewarm; threads prewarm iff they can pipeline.
+            prewarm_retrieval = self.executor.workers > 1 or self.executor.remote
             prewarm_policy = True
         else:
             prewarm_retrieval = prewarm_policy = prewarm
@@ -183,6 +229,7 @@ class SearchCluster:
         self.executor.bind_telemetry(telemetry)
         self.searcher.bind_telemetry(telemetry)
         cache_before = self._searcher_totals()
+        decode_before = self._decode_totals()
         try:
             if prewarm_retrieval:
                 if tracer is None:
@@ -263,11 +310,14 @@ class SearchCluster:
         report = package_report(meters, self.power_model, elapsed)
         records = sorted(aggregator.records, key=lambda r: r.arrival_ms)
         hits_after, comps_after = self._searcher_totals()
+        decode_after = self._decode_totals()
         if tracer is not None:
             metrics = telemetry.metrics
             metrics.gauge("run.events_processed").set(sim.events_processed)
             metrics.gauge("run.elapsed_sim_ms").set(elapsed)
             metrics.gauge("run.queries").set(len(records))
+            metrics.gauge("run.decode_hits").set(decode_after[0] - decode_before[0])
+            metrics.gauge("run.decode_misses").set(decode_after[1] - decode_before[1])
         return RunResult(
             policy_name=policy.name,
             records=records,
@@ -285,6 +335,8 @@ class SearchCluster:
             duplicates_dropped=aggregator.duplicates_dropped,
             total_service_ms=aggregator.total_service_ms,
             counted_service_ms=aggregator.counted_service_ms,
+            decode_hits=decode_after[0] - decode_before[0],
+            decode_misses=decode_after[1] - decode_before[1],
         )
 
     def _searcher_totals(self) -> tuple[int, int]:
@@ -294,6 +346,22 @@ class SearchCluster:
             sum(s.hits for s in stats),
             sum(s.computations for s in stats),
         )
+
+    def _decode_totals(self) -> tuple[int, int]:
+        """Cluster-wide (hits, misses) sums of the decode LRU counters.
+
+        Only compressed arenas keep decode counters; shards whose arena
+        has not been built yet contribute nothing (and are left unbuilt —
+        this must never trigger the uncompressed arena construction).
+        """
+        hits = misses = 0
+        for shard in self.shards:
+            arena = getattr(shard, "_arena", None)
+            stats = getattr(arena, "decode_stats", None)
+            if stats is not None:
+                hits += stats.hits
+                misses += stats.misses
+        return hits, misses
 
     def prewarm_trace(self, trace: QueryTrace) -> int:
         """Fill every shard searcher's memo cache for ``trace``.

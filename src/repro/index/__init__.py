@@ -7,7 +7,15 @@ Cottage predictors), document-allocation policies, and the Central Sample
 Index used by the Rank-S baseline.
 """
 
-from repro.index.arena import PostingsArena, TermRun
+from repro.index.arena import (
+    CompressedPostingsArena,
+    DecodeStats,
+    PostingsArena,
+    TermRun,
+    bits_for,
+    pack_bits,
+    unpack_bits,
+)
 from repro.index.builder import (
     CollectionStats,
     IndexBuilder,
@@ -27,6 +35,16 @@ from repro.index.partitioner import (
 from repro.index.postings import END_OF_LIST, PostingCursor, PostingList, PostingListBuilder
 from repro.index.shard import BLOCK_SIZE, IndexShard, ShardTerm
 from repro.index.storage import load_shard, load_shards, save_shard, save_shards
+from repro.index.store import (
+    LazyIndexShard,
+    open_store,
+    open_store_buffer,
+    open_stores,
+    pack_shards,
+    serialize_shard,
+    store_info,
+    write_store,
+)
 from repro.index.term_stats import TermStats, TermStatsIndex, compute_term_stats
 
 __all__ = [
@@ -44,11 +62,24 @@ __all__ = [
     "ShardTerm",
     "BLOCK_SIZE",
     "PostingsArena",
+    "CompressedPostingsArena",
+    "DecodeStats",
     "TermRun",
+    "bits_for",
+    "pack_bits",
+    "unpack_bits",
     "save_shard",
     "load_shard",
     "save_shards",
     "load_shards",
+    "LazyIndexShard",
+    "write_store",
+    "serialize_shard",
+    "open_store",
+    "open_store_buffer",
+    "open_stores",
+    "pack_shards",
+    "store_info",
     "TermStats",
     "TermStatsIndex",
     "compute_term_stats",

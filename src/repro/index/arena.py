@@ -14,10 +14,22 @@ for building a handful of :class:`TermRun` slice views.
 Terms are laid out in sorted order, which matches the on-disk ``.npz``
 layout of :mod:`repro.index.storage` — a loaded shard and a freshly
 built one produce byte-identical arenas.
+
+:class:`CompressedPostingsArena` is the same columnar index behind a
+compressed encoding: doc ids are delta + bit-packed per term, tfs are
+bit-packed, and scores are dictionary-encoded against a per-term float64
+codebook (with a verified raw fallback).  ``run`` decodes one term's
+columns with vectorized shifts/masks into the exact ``int64``/``int32``/
+``float64`` arrays the raw arena holds, so every kernel runs unchanged
+and bit-identical; a size-bounded LRU keeps hot terms decoded.  The
+packed streams are plain flat arrays, which is what lets
+:mod:`repro.index.store` memory-map them straight off disk.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -191,4 +203,436 @@ class PostingsArena:
         return (
             f"PostingsArena({self.n_terms} terms, {self.n_postings} postings, "
             f"block_size={self.block_size})"
+        )
+
+
+# ----------------------------------------------------------- bit packing
+#
+# Fixed-width little-endian packing into uint64 words.  Every packed
+# segment carries one trailing zero pad word so the decoder can always
+# gather word ``wi + 1`` unconditionally; widths are capped at 63 bits so
+# every shift stays in [0, 63] (numpy shifts by >= 64 are undefined).
+
+_MAX_BITS = 63
+
+
+def bits_for(max_value: int) -> int:
+    """Smallest usable bit width for values in ``[0, max_value]`` (>= 1)."""
+    if max_value < 0:
+        raise ValueError("bit-packed values must be non-negative")
+    width = int(max_value).bit_length()
+    if width > _MAX_BITS:
+        raise ValueError(f"value {max_value} needs {width} bits (max {_MAX_BITS})")
+    return max(width, 1)
+
+
+def packed_words(n_values: int, width: int) -> int:
+    """Word count of a packed segment, including the trailing pad word."""
+    return (n_values * width + 63) // 64 + 1
+
+
+def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Pack non-negative ints into ``width``-bit fields of uint64 words."""
+    if not 1 <= width <= _MAX_BITS:
+        raise ValueError(f"width must be in [1, {_MAX_BITS}], got {width}")
+    n = int(values.size)
+    words = np.zeros(packed_words(n, width), dtype=np.uint64)
+    if n == 0:
+        return words
+    v = np.ascontiguousarray(values, dtype=np.int64)
+    if int(v.min()) < 0 or int(v.max()) >> width:
+        raise ValueError(f"values do not fit in {width} bits")
+    u = v.astype(np.uint64)
+    pos = np.arange(n, dtype=np.uint64) * np.uint64(width)
+    wi = (pos >> np.uint64(6)).astype(np.int64)
+    bo = pos & np.uint64(63)
+    np.bitwise_or.at(words, wi, u << bo)
+    # Fields straddling a word boundary spill their high bits into the
+    # next word (the pad word absorbs the final spill).
+    spill = bo != 0
+    if spill.any():
+        np.bitwise_or.at(
+            words, wi[spill] + 1, u[spill] >> (np.uint64(64) - bo[spill])
+        )
+    return words
+
+
+def unpack_bits(words: np.ndarray, n: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``n`` values as an int64 array."""
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    pos = np.arange(n, dtype=np.uint64) * np.uint64(width)
+    wi = (pos >> np.uint64(6)).astype(np.int64)
+    bo = pos & np.uint64(63)
+    lo = words[wi] >> bo
+    # Shift counts must stay < 64: when bo == 0 the high word contributes
+    # nothing, so mask its (would-be shift-by-64) lanes away instead.
+    hi = np.where(bo != 0, words[wi + 1] << ((np.uint64(64) - bo) & np.uint64(63)), 0)
+    mask = np.uint64((1 << width) - 1)
+    return ((lo | hi) & mask).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class DecodeStats:
+    """LRU decode-cache counters for one :class:`CompressedPostingsArena`."""
+
+    hits: int
+    misses: int
+    entries: int
+    bytes: int
+
+
+_SCORE_RAW = 0
+_SCORE_CODEBOOK = 1
+
+DEFAULT_DECODE_CACHE_BYTES = 256 << 20
+"""Default decode-LRU budget: decoded columns kept per arena (bytes)."""
+
+
+class CompressedPostingsArena:
+    """Delta/bit-packed :class:`PostingsArena` with per-term lazy decode.
+
+    Same query-facing surface as the raw arena (``run``/``has_term``/
+    ``terms``), but the columns live packed: ``run`` decodes one term on
+    demand through a byte-bounded LRU and returns a :class:`TermRun`
+    whose arrays are *exactly* the raw arena's — same dtypes, same bits —
+    so the kernels are bit-identical on either arena.
+
+    Encoding, per term with ``n`` postings:
+
+    * **doc_ids** — ``first_docs[t]`` plus ``n - 1`` gaps, each stored as
+      ``delta - 1`` (doc ids are strictly increasing) in
+      ``doc_widths[t]``-bit fields; decoded with a cumulative sum.
+    * **tfs** — raw values in ``tf_widths[t]``-bit fields.
+    * **scores** — a sorted float64 codebook of the distinct values plus
+      bit-packed codebook indices, *verified bitwise* against the source
+      at build time; terms where the codebook does not pay for itself (or
+      fails the bitwise check, e.g. ``-0.0``) store raw float64.
+
+    All packed streams are flat arrays sliced by per-term offsets, so the
+    whole structure maps 1:1 onto the on-disk TOC of
+    :mod:`repro.index.store` and can be backed by ``np.memmap`` columns.
+    """
+
+    __slots__ = (
+        "terms", "offsets", "first_docs",
+        "doc_widths", "doc_words", "doc_word_offsets",
+        "tf_widths", "tf_words", "tf_word_offsets",
+        "score_kinds", "score_widths",
+        "score_raw", "score_raw_offsets",
+        "score_books", "score_book_offsets",
+        "score_words", "score_word_offsets",
+        "upper_bounds", "block_maxes", "block_offsets", "block_size",
+        "_term_ids", "_cache", "_cache_bytes", "_cache_budget",
+        "_lock", "_hits", "_misses",
+    )
+
+    def __init__(
+        self,
+        terms: list[str],
+        offsets: np.ndarray,
+        first_docs: np.ndarray,
+        doc_widths: np.ndarray,
+        doc_words: np.ndarray,
+        doc_word_offsets: np.ndarray,
+        tf_widths: np.ndarray,
+        tf_words: np.ndarray,
+        tf_word_offsets: np.ndarray,
+        score_kinds: np.ndarray,
+        score_widths: np.ndarray,
+        score_raw: np.ndarray,
+        score_raw_offsets: np.ndarray,
+        score_books: np.ndarray,
+        score_book_offsets: np.ndarray,
+        score_words: np.ndarray,
+        score_word_offsets: np.ndarray,
+        upper_bounds: np.ndarray,
+        block_maxes: np.ndarray,
+        block_offsets: np.ndarray,
+        block_size: int,
+        cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
+    ) -> None:
+        self.terms = terms
+        self.offsets = offsets
+        self.first_docs = first_docs
+        self.doc_widths = doc_widths
+        self.doc_words = doc_words
+        self.doc_word_offsets = doc_word_offsets
+        self.tf_widths = tf_widths
+        self.tf_words = tf_words
+        self.tf_word_offsets = tf_word_offsets
+        self.score_kinds = score_kinds
+        self.score_widths = score_widths
+        self.score_raw = score_raw
+        self.score_raw_offsets = score_raw_offsets
+        self.score_books = score_books
+        self.score_book_offsets = score_book_offsets
+        self.score_words = score_words
+        self.score_word_offsets = score_word_offsets
+        self.upper_bounds = upper_bounds
+        self.block_maxes = block_maxes
+        self.block_offsets = block_offsets
+        self.block_size = block_size
+        self._term_ids = {term: i for i, term in enumerate(terms)}
+        # Decoded-column LRU: tid -> (doc_ids, tfs, scores, nbytes).
+        self._cache: OrderedDict[int, tuple[np.ndarray, np.ndarray, np.ndarray, int]]
+        self._cache = OrderedDict()
+        self._cache_bytes = 0
+        self._cache_budget = max(int(cache_bytes), 0)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------ build
+    @classmethod
+    def from_arena(
+        cls,
+        arena: PostingsArena,
+        cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
+    ) -> "CompressedPostingsArena":
+        """Compress a raw arena (bit-exact: ``run`` round-trips verbatim)."""
+        n = arena.n_terms
+        first_docs = np.zeros(n, dtype=np.int64)
+        doc_widths = np.ones(n, dtype=np.uint8)
+        tf_widths = np.ones(n, dtype=np.uint8)
+        score_kinds = np.zeros(n, dtype=np.uint8)
+        score_widths = np.ones(n, dtype=np.uint8)
+        doc_word_offsets = np.zeros(n + 1, dtype=np.int64)
+        tf_word_offsets = np.zeros(n + 1, dtype=np.int64)
+        score_raw_offsets = np.zeros(n + 1, dtype=np.int64)
+        score_book_offsets = np.zeros(n + 1, dtype=np.int64)
+        score_word_offsets = np.zeros(n + 1, dtype=np.int64)
+        doc_chunks: list[np.ndarray] = []
+        tf_chunks: list[np.ndarray] = []
+        raw_chunks: list[np.ndarray] = []
+        book_chunks: list[np.ndarray] = []
+        idx_chunks: list[np.ndarray] = []
+        for tid in range(n):
+            lo, hi = int(arena.offsets[tid]), int(arena.offsets[tid + 1])
+            count = hi - lo
+            docs = np.ascontiguousarray(arena.doc_ids[lo:hi], dtype=np.int64)
+            tfs = np.ascontiguousarray(arena.tfs[lo:hi], dtype=np.int64)
+            scores = np.ascontiguousarray(arena.scores[lo:hi], dtype=np.float64)
+            # -- doc ids: first + (delta - 1) gaps
+            if count:
+                if int(docs[0]) < 0:
+                    raise ValueError(
+                        f"term {arena.terms[tid]!r}: negative doc id {int(docs[0])}"
+                    )
+                first_docs[tid] = docs[0]
+            if count > 1:
+                gaps = np.diff(docs)
+                if int(gaps.min()) <= 0:
+                    raise ValueError(
+                        f"term {arena.terms[tid]!r}: doc_ids must be strictly "
+                        "increasing"
+                    )
+                gaps -= 1
+                doc_widths[tid] = bits_for(int(gaps.max()))
+                doc_chunks.append(pack_bits(gaps, int(doc_widths[tid])))
+            else:
+                doc_chunks.append(np.zeros(packed_words(0, 1), dtype=np.uint64))
+            doc_word_offsets[tid + 1] = doc_word_offsets[tid] + doc_chunks[-1].size
+            # -- tfs: raw values
+            if count:
+                if int(tfs.min()) < 0:
+                    raise ValueError(
+                        f"term {arena.terms[tid]!r}: negative tf"
+                    )
+                tf_widths[tid] = bits_for(int(tfs.max()))
+            tf_chunks.append(pack_bits(tfs, int(tf_widths[tid])))
+            tf_word_offsets[tid + 1] = tf_word_offsets[tid] + tf_chunks[-1].size
+            # -- scores: codebook when it pays AND round-trips bitwise
+            encoded = False
+            if count:
+                book, idx = np.unique(scores, return_inverse=True)
+                width = bits_for(max(int(book.size) - 1, 0))
+                cost = book.size * 64 + packed_words(count, width) * 64
+                if cost < count * 64 and np.array_equal(
+                    book[idx].view(np.int64), scores.view(np.int64)
+                ):
+                    encoded = True
+                    score_kinds[tid] = _SCORE_CODEBOOK
+                    score_widths[tid] = width
+                    book_chunks.append(book)
+                    idx_chunks.append(pack_bits(idx.astype(np.int64), width))
+                    score_book_offsets[tid + 1] = (
+                        score_book_offsets[tid] + book.size
+                    )
+                    score_word_offsets[tid + 1] = (
+                        score_word_offsets[tid] + idx_chunks[-1].size
+                    )
+                    score_raw_offsets[tid + 1] = score_raw_offsets[tid]
+            if not encoded:
+                raw_chunks.append(scores)
+                score_raw_offsets[tid + 1] = score_raw_offsets[tid] + count
+                score_book_offsets[tid + 1] = score_book_offsets[tid]
+                score_word_offsets[tid + 1] = score_word_offsets[tid]
+
+        def _cat(chunks: list[np.ndarray], dtype: type) -> np.ndarray:
+            return (
+                np.concatenate(chunks) if chunks else np.zeros(0, dtype=dtype)
+            )
+
+        return cls(
+            terms=list(arena.terms),
+            offsets=np.asarray(arena.offsets, dtype=np.int64).copy(),
+            first_docs=first_docs,
+            doc_widths=doc_widths,
+            doc_words=_cat(doc_chunks, np.uint64),
+            doc_word_offsets=doc_word_offsets,
+            tf_widths=tf_widths,
+            tf_words=_cat(tf_chunks, np.uint64),
+            tf_word_offsets=tf_word_offsets,
+            score_kinds=score_kinds,
+            score_widths=score_widths,
+            score_raw=_cat(raw_chunks, np.float64),
+            score_raw_offsets=score_raw_offsets,
+            score_books=_cat(book_chunks, np.float64),
+            score_book_offsets=score_book_offsets,
+            score_words=_cat(idx_chunks, np.uint64),
+            score_word_offsets=score_word_offsets,
+            upper_bounds=np.asarray(arena.upper_bounds, dtype=np.float64).copy(),
+            block_maxes=np.asarray(arena.block_maxes, dtype=np.float64).copy(),
+            block_offsets=np.asarray(arena.block_offsets, dtype=np.int64).copy(),
+            block_size=arena.block_size,
+            cache_bytes=cache_bytes,
+        )
+
+    # ----------------------------------------------------------- decode
+    def _decode(self, tid: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        lo, hi = int(self.offsets[tid]), int(self.offsets[tid + 1])
+        count = hi - lo
+        if count == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int32),
+                np.zeros(0, dtype=np.float64),
+            )
+        wlo, whi = int(self.doc_word_offsets[tid]), int(self.doc_word_offsets[tid + 1])
+        doc_ids = np.empty(count, dtype=np.int64)
+        doc_ids[0] = self.first_docs[tid]
+        if count > 1:
+            gaps = unpack_bits(
+                self.doc_words[wlo:whi], count - 1, int(self.doc_widths[tid])
+            )
+            np.add(gaps, 1, out=gaps)
+            doc_ids[1:] = gaps
+            np.cumsum(doc_ids, out=doc_ids)
+        wlo, whi = int(self.tf_word_offsets[tid]), int(self.tf_word_offsets[tid + 1])
+        tfs = unpack_bits(
+            self.tf_words[wlo:whi], count, int(self.tf_widths[tid])
+        ).astype(np.int32)
+        if self.score_kinds[tid] == _SCORE_CODEBOOK:
+            blo, bhi = (
+                int(self.score_book_offsets[tid]),
+                int(self.score_book_offsets[tid + 1]),
+            )
+            wlo, whi = (
+                int(self.score_word_offsets[tid]),
+                int(self.score_word_offsets[tid + 1]),
+            )
+            idx = unpack_bits(
+                self.score_words[wlo:whi], count, int(self.score_widths[tid])
+            )
+            scores = np.asarray(self.score_books[blo:bhi])[idx]
+        else:
+            rlo, rhi = (
+                int(self.score_raw_offsets[tid]),
+                int(self.score_raw_offsets[tid + 1]),
+            )
+            scores = np.asarray(self.score_raw[rlo:rhi])
+        return doc_ids, tfs, scores
+
+    def columns(self, tid: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decoded (doc_ids, tfs, scores) for term ``tid``, LRU-cached."""
+        with self._lock:
+            entry = self._cache.get(tid)
+            if entry is not None:
+                self._hits += 1
+                self._cache.move_to_end(tid)
+                return entry[0], entry[1], entry[2]
+            self._misses += 1
+        doc_ids, tfs, scores = self._decode(tid)
+        nbytes = doc_ids.nbytes + tfs.nbytes + scores.nbytes
+        with self._lock:
+            if tid not in self._cache:
+                self._cache[tid] = (doc_ids, tfs, scores, nbytes)
+                self._cache_bytes += nbytes
+                while self._cache_bytes > self._cache_budget and len(self._cache) > 1:
+                    _, evicted = self._cache.popitem(last=False)
+                    self._cache_bytes -= evicted[3]
+        return doc_ids, tfs, scores
+
+    @property
+    def decode_stats(self) -> DecodeStats:
+        with self._lock:
+            return DecodeStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._cache),
+                bytes=self._cache_bytes,
+            )
+
+    # ------------------------------------------------------------ query
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def n_postings(self) -> int:
+        return int(self.offsets[-1])
+
+    def has_term(self, term: str) -> bool:
+        return term in self._term_ids
+
+    def run(self, term: str) -> TermRun | None:
+        """A fresh :class:`TermRun` over the decoded columns (or None)."""
+        tid = self._term_ids.get(term)
+        if tid is None:
+            return None
+        doc_ids, tfs, scores = self.columns(tid)
+        blo, bhi = int(self.block_offsets[tid]), int(self.block_offsets[tid + 1])
+        return TermRun(
+            term=term,
+            doc_ids=doc_ids,
+            tfs=tfs,
+            scores=scores,
+            upper_bound=float(self.upper_bounds[tid]),
+            block_maxes=self.block_maxes[blo:bhi],
+            block_size=self.block_size,
+            size=doc_ids.size,
+        )
+
+    # ------------------------------------------------------- accounting
+    @property
+    def packed_nbytes(self) -> int:
+        """Bytes of the packed posting columns plus per-term metadata."""
+        return sum(  # simlint: disable=FLOAT-ORDER -- integer byte counts, order-insensitive
+            int(getattr(self, name).nbytes)
+            for name in (
+                "offsets", "first_docs",
+                "doc_widths", "doc_words", "doc_word_offsets",
+                "tf_widths", "tf_words", "tf_word_offsets",
+                "score_kinds", "score_widths",
+                "score_raw", "score_raw_offsets",
+                "score_books", "score_book_offsets",
+                "score_words", "score_word_offsets",
+            )
+        )
+
+    @property
+    def raw_nbytes(self) -> int:
+        """What the same postings cost as raw arena columns (i8/i4/f8)."""
+        return self.n_postings * 20
+
+    @property
+    def compression_ratio(self) -> float:
+        packed = self.packed_nbytes
+        return self.raw_nbytes / packed if packed else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedPostingsArena({self.n_terms} terms, "
+            f"{self.n_postings} postings, {self.compression_ratio:.2f}x)"
         )

@@ -16,8 +16,10 @@ from repro.retrieval.executor import (
     BatchExecutor,
     FanoutStats,
     ParallelExecutor,
+    ProcessExecutor,
     SerialExecutor,
     ShardExecutor,
+    ShardSearchTask,
     make_executor,
     prewarm_searchers,
 )
@@ -70,7 +72,9 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
     "BatchExecutor",
+    "ShardSearchTask",
     "FanoutStats",
     "make_executor",
     "prewarm_searchers",

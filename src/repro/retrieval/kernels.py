@@ -618,8 +618,25 @@ def conjunctive_search_kernel(
     k: int,
     stats: KernelStats | None = None,
 ) -> SearchResult:
-    """Arena-backed zig-zag intersection, bit-identical to
-    :func:`~repro.retrieval.conjunctive.conjunctive_search`."""
+    """Galloping arena intersection, bit-identical to
+    :func:`~repro.retrieval.conjunctive.conjunctive_search`.
+
+    The zig-zag's cursor state is fully determined by the driver: every
+    candidate the reference probes is a *driver* document, candidates
+    strictly increase, and ``next_geq`` lands a non-driver cursor on the
+    first posting >= the candidate — which is exactly
+    ``searchsorted(column, driver_docs)``, computable for **all**
+    candidates of a non-driver list in one vectorized call.  So the
+    kernel precomputes, per non-driver list: the landing position, the
+    landed doc, whether it matches, and where a mismatch redirects the
+    driver (``searchsorted(driver_docs, landed_doc)``); per-candidate
+    intersection scores come from one element-wise gather/add pass in
+    cursor order (``0.0 + s_0 + s_1 + ...`` — the reference's exact
+    float64 summation sequence).  What remains is a pure-int replay loop
+    over plain Python lists: no numpy call, no slicing, no boxing per
+    step.  Skip counters fall out as landing-position deltas, identical
+    to the reference's telescoping ``pos - before`` sums.
+    """
     if k < 1:
         raise ValueError("k must be positive")
     cost = CostStats(n_terms=len(terms))
@@ -637,37 +654,78 @@ def conjunctive_search_kernel(
 
     collector = TopKCollector(k)
     driver = runs[0]
-    candidate = int(driver.doc_ids[0]) if driver.size else END_OF_LIST
-    while candidate != END_OF_LIST:
-        aligned = True
-        for run in runs[1:]:
-            before = run.pos
-            doc = _advance_geq(run, candidate)
-            cost.postings_skipped += run.pos - before
-            if doc != candidate:
-                aligned = False
-                target = doc if doc != END_OF_LIST else candidate + 1
-                before = driver.pos
-                candidate = _advance_geq(driver, target)
-                cost.postings_skipped += driver.pos - before
-                break
-        if not aligned:
-            if any(run.pos >= run.size for run in runs):
-                break
-            continue
-        score = 0.0
-        for run in runs:
-            score += float(run.scores[run.pos])
-            cost.postings_scored += 1
-        cost.docs_evaluated += 1
-        collector.offer(candidate, score)
-        if stats is not None:
-            stats.offers += 1
-        driver.pos += 1
-        candidate = (
-            int(driver.doc_ids[driver.pos])
-            if driver.pos < driver.size
-            else END_OF_LIST
-        )
+    dsize = driver.size
+    if dsize == 0:
+        return SearchResult(hits=[], cost=cost)
+    d_docs = driver.doc_ids
+
+    # Precompute every non-driver list's whole interaction with the
+    # driver stream: landing index L, matched flag, and the driver index
+    # a mismatch at that candidate redirects to.
+    n_runs = len(runs)
+    lands_l: list[list[int]] = []
+    match_l: list[list[bool]] = []
+    redirect_l: list[list[int]] = []
+    sizes: list[int] = []
+    totals = np.zeros(dsize, dtype=np.float64)
+    np.add(totals, driver.scores, out=totals)
+    for run in runs[1:]:
+        col = run.doc_ids
+        size = run.size
+        lands = np.searchsorted(col, d_docs, side="left")
+        landed_at = np.minimum(lands, max(size - 1, 0))
+        landed = col[landed_at] if size else np.zeros(dsize, dtype=np.int64)
+        in_range = lands < size
+        matched = in_range & (landed == d_docs)
+        # Where the mismatching landed doc sends the driver's next_geq.
+        redirect = np.searchsorted(d_docs, landed, side="left")
+        np.add(totals, run.scores[landed_at] if size else 0.0, out=totals)
+        lands_l.append(lands.tolist())
+        match_l.append(matched.tolist())
+        redirect_l.append(redirect.tolist())
+        sizes.append(size)
+    d_list = d_docs.tolist()
+    t_list = totals.tolist()
+
+    offer = collector.offer
+    n_others = n_runs - 1
+    pos = [0] * n_others
+    skipped = 0
+    evaluated = 0
+    offers_done = 0
+    di = 0
+    while di < dsize:
+        matched_all = True
+        for j in range(n_others):
+            lj = lands_l[j][di]
+            skipped += lj - pos[j]
+            pos[j] = lj
+            if match_l[j][di]:
+                continue
+            matched_all = False
+            if lj >= sizes[j]:
+                # List j is exhausted: the reference advances the driver
+                # past the candidate (one position), then breaks on the
+                # exhausted-cursor check.
+                skipped += 1
+                di = dsize
+            else:
+                redirect = redirect_l[j][di]
+                skipped += redirect - di
+                di = redirect
+            break
+        if matched_all:
+            evaluated += 1
+            offer(d_list[di], t_list[di])
+            offers_done += 1
+            di += 1
+        elif di >= dsize:
+            break
+
+    cost.postings_skipped = skipped
+    cost.docs_evaluated = evaluated
+    cost.postings_scored = evaluated * n_runs
+    if stats is not None:
+        stats.offers += offers_done
 
     return SearchResult(hits=collector.results(), cost=cost)

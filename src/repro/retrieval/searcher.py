@@ -242,6 +242,22 @@ class ShardSearcher:
         self._m_restarts.add(kstats.threshold_restarts)
         return result
 
+    def seed(self, query: Query, result: SearchResult) -> None:
+        """Install an externally computed result under ``query``'s key.
+
+        Used by remote executors: a worker process ran the search against
+        its own attached copy of this searcher's shard, and the parent
+        adopts the result so replay here is pure cache hits.  Seeding
+        counts as a computation — the work happened, just elsewhere — so
+        cache-stat totals match the local execution paths.  First write
+        wins, same as the memo contract.
+        """
+        key = self.cache_key(query)
+        with self._lock:
+            if key not in self._cache:
+                self._cache[key] = result
+                self._computations += 1
+
     def search_terms(self, terms: list[str]) -> SearchResult:
         return self.search(Query(query_id=-1, terms=tuple(dict.fromkeys(terms))))
 
@@ -281,12 +297,50 @@ class DistributedSearcher:
         return self.searchers[shard_id].search(query)
 
     def search(self, query: Query, shard_ids: list[int] | None = None) -> SearchResult:
-        """Search a subset of shards (default: all) and merge."""
+        """Search a subset of shards (default: all) and merge.
+
+        With a remote executor the fan-out ships picklable
+        ``ShardSearchTask`` descriptors instead of closures; workers
+        attach the shards via mmap/shared memory and the parent seeds the
+        results into its memo caches, so repeats are local cache hits and
+        the merged result is bit-identical to every local backend.
+        """
         if shard_ids is None:
             shard_ids = list(range(self.n_shards))
+        if self.executor.remote:
+            return self._search_remote(query, shard_ids)
         per_shard = self.executor.map(
             [lambda s=self.searchers[sid]: s.search(query) for sid in shard_ids]
         )
+        return merge_results(per_shard, self.k)
+
+    def _search_remote(self, query: Query, shard_ids: list[int]) -> SearchResult:
+        from repro.retrieval.executor import ShardSearchTask
+
+        per_shard: list[SearchResult | None] = [None] * len(shard_ids)
+        tasks: list[ShardSearchTask] = []
+        misses: list[int] = []
+        for position, sid in enumerate(shard_ids):
+            searcher = self.searchers[sid]
+            if searcher.is_cached(query):
+                per_shard[position] = searcher.search(query)
+                continue
+            tasks.append(
+                ShardSearchTask(
+                    spec=self.executor.spec_for(searcher.shard),  # type: ignore[attr-defined]
+                    terms=query.terms,
+                    k=searcher.k,
+                    strategy=searcher.strategy,
+                )
+            )
+            misses.append(position)
+        if tasks:
+            for position, result in zip(misses, self.executor.map(tasks)):
+                searcher = self.searchers[shard_ids[position]]
+                searcher.seed(query, result)
+                # Read back through the memo so concurrent seeders agree
+                # on one canonical object (first write wins).
+                per_shard[position] = searcher.search(query)
         return merge_results(per_shard, self.k)
 
     def cache_stats(self) -> list[SearcherCacheStats]:

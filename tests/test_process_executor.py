@@ -1,0 +1,237 @@
+"""ProcessExecutor: attach-by-spec fan-out and its determinism guarantee.
+
+The contract: shard searches shipped to worker processes — which attach
+the shards from shared memory (in-memory shards) or mmap'd ``.store``
+files (packed shards), never via pickle — produce **byte-identical**
+merged results to ``SerialExecutor`` at any worker count, and the parent
+seeds remote results into its memo caches so replay is local.  Plus the
+hygiene around it: closures are rejected up front, shared-memory
+segments are unlinked on close, and ``run_trace(backend="process")``
+replays traces bit-identically.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+
+import pytest
+
+from repro.cluster.engine import RunResult, SearchCluster
+from repro.index import open_stores, pack_shards
+from repro.policies.exhaustive import ExhaustivePolicy
+from repro.retrieval import (
+    DistributedSearcher,
+    ProcessExecutor,
+    Query,
+    QueryTrace,
+    SerialExecutor,
+    ShardSearchTask,
+    make_executor,
+    prewarm_searchers,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def make_queries(n: int = 10, seed: int = 11) -> list[Query]:
+    rng = random.Random(seed)
+    return [
+        Query(
+            query_id=i,
+            terms=tuple(
+                dict.fromkeys(f"t{rng.randint(0, 50)}" for _ in range(3))
+            ),
+        )
+        for i in range(n)
+    ]
+
+
+def double(value: int) -> int:
+    return value * 2
+
+
+def run_fingerprint(run: RunResult) -> str:
+    lines = [run.policy_name, repr(run.power)]
+    for record in run.records:
+        lines.append(
+            f"{record.query.query_id}|{record.latency_ms!r}|"
+            f"{record.result.fingerprint()}"
+        )
+    return "\n".join(lines)
+
+
+class TestProcessExecutorBasics:
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(0)
+
+    def test_make_executor_backend_dispatch(self):
+        with make_executor(1, backend="process") as executor:
+            assert isinstance(executor, ProcessExecutor)
+            assert executor.workers == 1
+        with make_executor(4, backend="serial") as executor:
+            assert isinstance(executor, SerialExecutor)
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            make_executor(2, backend="fiber")
+
+    def test_map_runs_module_level_callables(self):
+        with ProcessExecutor(2) as executor:
+            results = executor.map(
+                [functools.partial(double, i) for i in range(12)]
+            )
+        assert results == [i * 2 for i in range(12)]
+
+    def test_lambda_rejected(self):
+        with ProcessExecutor(2) as executor:
+            with pytest.raises(TypeError, match="picklable"):
+                executor.map([lambda: 1])
+
+    def test_nested_function_rejected(self):
+        def nested():
+            return 1
+
+        with ProcessExecutor(2) as executor:
+            with pytest.raises(TypeError, match="picklable"):
+                executor.map([nested])
+
+    def test_stats_are_worker_measured(self):
+        with ProcessExecutor(2) as executor:
+            executor.map([functools.partial(double, i) for i in range(5)])
+            stats = executor.last_stats
+        assert stats is not None
+        assert stats.n_tasks == 5
+        assert stats.workers == 2
+        assert all(ms >= 0.0 for ms in stats.task_ms)
+
+    def test_close_is_idempotent_and_pool_recreated(self):
+        executor = ProcessExecutor(2)
+        assert executor.map([functools.partial(double, 3)]) == [6]
+        executor.close()
+        executor.close()
+        assert executor.map([functools.partial(double, 4)]) == [8]
+        executor.close()
+
+    def test_close_unlinks_published_segments(self, shards):
+        from multiprocessing import shared_memory
+
+        executor = ProcessExecutor(2)
+        spec = executor.spec_for(shards[0])
+        if spec[0] != "shm":  # pragma: no cover - no POSIX shm on host
+            executor.close()
+            pytest.skip("host fell back to file spill; nothing to unlink")
+        name = spec[1]
+        shared_memory.SharedMemory(name=name).close()  # attachable while open
+        executor.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestDistributedProcessFanout:
+    @pytest.fixture(scope="class")
+    def reference(self, shards):
+        searcher = DistributedSearcher(shards, k=10)
+        return [
+            searcher.search(q).fingerprint() for q in make_queries()
+        ]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_shared_memory_attach_bit_identical(self, shards, reference, workers):
+        with make_executor(workers, backend="process") as executor:
+            searcher = DistributedSearcher(shards, k=10, executor=executor)
+            got = [searcher.search(q).fingerprint() for q in make_queries()]
+        assert got == reference
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_mmap_attach_bit_identical(
+        self, shards, reference, workers, tmp_path_factory
+    ):
+        directory = tmp_path_factory.mktemp("stores")
+        pack_shards(shards, directory)
+        lazy = open_stores(directory)
+        with make_executor(workers, backend="process") as executor:
+            searcher = DistributedSearcher(lazy, k=10, executor=executor)
+            got = [searcher.search(q).fingerprint() for q in make_queries()]
+        assert got == reference
+
+    def test_results_seed_parent_memo(self, shards):
+        query = make_queries(1)[0]
+        with make_executor(2, backend="process") as executor:
+            searcher = DistributedSearcher(shards, k=10, executor=executor)
+            assert not searcher.searchers[0].is_cached(query)
+            first = searcher.search(query)
+            assert all(s.is_cached(query) for s in searcher.searchers)
+            stats_after_first = executor.last_stats
+            second = searcher.search(query)
+            # The repeat never re-enters the pool: pure parent-side hits.
+            assert executor.last_stats is stats_after_first
+        assert second.fingerprint() == first.fingerprint()
+
+    def test_remote_prewarm_seeds_every_searcher(self, shards):
+        queries = make_queries(6)
+        with make_executor(2, backend="process") as executor:
+            searcher = DistributedSearcher(shards, k=10, executor=executor)
+            n_tasks = prewarm_searchers(searcher.searchers, queries, executor)
+            assert n_tasks == len(shards) * len(
+                {q.terms for q in queries}
+            )
+            assert all(
+                s.is_cached(q) for q in queries for s in searcher.searchers
+            )
+            # Seeded results count as computations, replay as hits.
+            assert sum(s.cache_stats.computations for s in searcher.searchers) == n_tasks
+
+    def test_task_descriptor_is_picklable(self, shards):
+        import pickle
+
+        with ProcessExecutor(1) as executor:
+            task = ShardSearchTask(
+                spec=executor.spec_for(shards[0]),
+                terms=("t1", "t2"),
+                k=10,
+                strategy="maxscore",
+            )
+            blob = pickle.dumps(task)
+            assert pickle.loads(blob) == task
+
+
+class TestRunTraceProcessBackend:
+    def make_trace(self, n: int = 24) -> QueryTrace:
+        return QueryTrace(
+            "process-backend",
+            [
+                Query(query_id=q.query_id, terms=q.terms, arrival_time=i * 0.01)
+                for i, q in enumerate(make_queries(n, seed=23))
+            ],
+        )
+
+    def test_backend_override_is_bit_identical(self, shards):
+        trace = self.make_trace()
+        serial = SearchCluster(shards, k=10).run_trace(
+            trace, ExhaustivePolicy()
+        )
+        process = SearchCluster(shards, k=10).run_trace(
+            trace, ExhaustivePolicy(), workers=2, backend="process"
+        )
+        assert run_fingerprint(process) == run_fingerprint(serial)
+        assert process.searcher_computations == serial.searcher_computations
+
+    def test_override_restores_previous_executor(self, shards):
+        cluster = SearchCluster(shards, k=10)
+        before = cluster.executor
+        cluster.run_trace(self.make_trace(8), ExhaustivePolicy(), backend="process")
+        assert cluster.executor is before
+        assert cluster.searcher.executor is before
+
+    def test_store_backed_cluster_decode_counters(self, shards, tmp_path):
+        pack_shards(shards, tmp_path)
+        lazy = open_stores(tmp_path)
+        run = SearchCluster(lazy, k=10).run_trace(
+            self.make_trace(12), ExhaustivePolicy()
+        )
+        assert run.decode_misses > 0  # compressed shards actually decoded
+        reference = SearchCluster(shards, k=10).run_trace(
+            self.make_trace(12), ExhaustivePolicy()
+        )
+        assert run_fingerprint(run) == run_fingerprint(reference)
+        assert reference.decode_hits == reference.decode_misses == 0

@@ -25,7 +25,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 RULE_IDS = {
     "DET-RNG", "DET-CLOCK", "DET-ORDER", "FLOAT-ORDER",
-    "TEL-BIND", "MUT-DEFAULT", "PAR-SHARED",
+    "TEL-BIND", "MUT-DEFAULT", "PAR-SHARED", "PAR-PICKLE",
 }
 
 
@@ -350,6 +350,70 @@ def serial(tasks):
         worker(task)
     return results
 """
+
+
+PAR_PICKLE_LAMBDA = """\
+def fan_out(process_pool, searchers, query):
+    futures = [
+        process_pool.submit(lambda s=searcher: s.search(query))
+        for searcher in searchers
+    ]
+    return [f.result() for f in futures]
+"""
+
+PAR_PICKLE_NESTED = """\
+def fan_out(process_executor, tasks):
+    def worker(task):
+        return task()
+    return process_executor.map([worker for _ in tasks])
+"""
+
+PAR_PICKLE_DESCRIPTOR = """\
+def fan_out(process_pool, tasks):
+    futures = [process_pool.submit(run_task, task) for task in tasks]
+    return [f.result() for f in futures]
+
+
+def run_task(task):
+    return task()
+"""
+
+PAR_PICKLE_THREAD_POOL = """\
+def fan_out(thread_pool, tasks):
+    futures = [thread_pool.submit(lambda t=task: t()) for task in tasks]
+    return [f.result() for f in futures]
+"""
+
+PAR_PICKLE_DIRECT_CTOR = """\
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(tasks):
+    with ProcessPoolExecutor(4) as pool:
+        return list(ProcessPoolExecutor(4).map(lambda t: t(), tasks))
+"""
+
+
+class TestParPickle:
+    def test_fires_on_lambda(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_PICKLE_LAMBDA)
+        assert len(rule_hits(report, "PAR-PICKLE")) == 1
+
+    def test_fires_on_nested_function(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_PICKLE_NESTED)
+        assert len(rule_hits(report, "PAR-PICKLE")) == 1
+
+    def test_clean_module_level_callable(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_PICKLE_DESCRIPTOR)
+        assert not rule_hits(report, "PAR-PICKLE")
+
+    def test_thread_pools_exempt(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_PICKLE_THREAD_POOL)
+        assert not rule_hits(report, "PAR-PICKLE")
+
+    def test_fires_on_direct_constructor_receiver(self, tmp_path):
+        report = lint_snippet(tmp_path, PAR_PICKLE_DIRECT_CTOR)
+        assert len(rule_hits(report, "PAR-PICKLE")) == 1
 
 
 class TestParShared:

@@ -1,0 +1,353 @@
+"""The compressed ``.store`` format: bit-packing, arenas, persistence.
+
+Three layers under test, bottom up:
+
+* ``pack_bits``/``unpack_bits`` — fixed-width little-endian packing into
+  uint64 words must round-trip any value that fits the width.
+* ``CompressedPostingsArena`` — delta/bit-packed doc ids, packed tfs and
+  codebook scores must decode to the *exact* int64/int32/float64 columns
+  the uncompressed arena holds (same bits, including -0.0), reject
+  malformed inputs, and bound its decode LRU by bytes.
+* ``serialize_shard``/``open_store``/``open_store_buffer`` — the on-disk
+  and shared-memory forms are the same bytes, open in O(1) (nothing
+  materialized per term), survive adversarial columns, and fail loudly
+  on corrupt headers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index import (
+    CompressedPostingsArena,
+    Document,
+    IndexBuilder,
+    IndexShard,
+    PostingsArena,
+    ShardTerm,
+    bits_for,
+    open_store,
+    open_store_buffer,
+    open_stores,
+    pack_bits,
+    pack_shards,
+    serialize_shard,
+    store_info,
+    unpack_bits,
+    write_store,
+)
+from repro.index.postings import PostingList
+from repro.retrieval import maxscore_search, maxscore_search_kernel
+from repro.scoring.similarity import BM25Similarity
+from repro.text import WhitespaceAnalyzer
+
+VOCAB = [f"w{i}" for i in range(12)]
+
+
+def build_shard(word_lists: list[list[str]]) -> IndexShard:
+    builder = IndexBuilder(0, analyzer=WhitespaceAnalyzer())
+    for doc_id, words in enumerate(word_lists):
+        builder.add(Document(doc_id=doc_id, text=" ".join(words)))
+    return builder.build()
+
+
+def make_shard(term_columns: dict[str, tuple[list[int], list[int]]]) -> IndexShard:
+    """A hand-built shard from ``{term: (doc_ids, tfs)}`` columns."""
+    similarity = BM25Similarity()
+    terms = {}
+    all_docs: set[int] = set()
+    for name, (doc_ids, tfs) in term_columns.items():
+        docs = np.asarray(doc_ids, dtype=np.int64)
+        freqs = np.asarray(tfs, dtype=np.int32)
+        scores = (
+            similarity.scores(freqs, np.full(docs.size, 10.0), docs.size, 100, 10.0)
+            if docs.size
+            else np.zeros(0, dtype=np.float64)
+        )
+        terms[name] = ShardTerm(
+            term=name,
+            postings=PostingList(doc_ids=docs, tfs=freqs),
+            scores=scores,
+            upper_bound=float(scores.max()) if scores.size else 0.0,
+        )
+        all_docs.update(docs.tolist())
+    return IndexShard(
+        shard_id=0,
+        n_docs=max(len(all_docs), 1),
+        avg_doc_length=10.0,
+        total_tokens=10 * max(len(all_docs), 1),
+        doc_lengths={doc: 10 for doc in sorted(all_docs)},
+        similarity=similarity,
+        _terms=terms,
+    )
+
+
+def assert_columns_equal(shard: IndexShard, reopened: IndexShard) -> None:
+    """Every term's decoded columns must be bit-equal, dtypes included."""
+    assert sorted(reopened.terms()) == sorted(shard.terms())
+    for name in shard.terms():
+        original = shard.term(name)
+        loaded = reopened.term(name)
+        np.testing.assert_array_equal(
+            loaded.postings.doc_ids, original.postings.doc_ids
+        )
+        np.testing.assert_array_equal(loaded.postings.tfs, original.postings.tfs)
+        # Bitwise float equality (repr-level fingerprints depend on it).
+        np.testing.assert_array_equal(
+            loaded.scores.view(np.int64), original.scores.view(np.int64)
+        )
+        assert loaded.postings.doc_ids.dtype == np.int64
+        assert loaded.postings.tfs.dtype == np.int32
+        assert loaded.scores.dtype == np.float64
+        assert loaded.upper_bound == original.upper_bound
+        assert loaded.global_doc_freq == original.global_doc_freq
+
+
+# ------------------------------------------------------------- bit packing
+class TestBitPacking:
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=2**62 - 1), max_size=80)
+    )
+    def test_roundtrip_any_fitting_width(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        width = bits_for(int(arr.max()) if arr.size else 0)
+        words = pack_bits(arr, width)
+        np.testing.assert_array_equal(unpack_bits(words, arr.size, width), arr)
+
+    def test_bits_for_floor_and_cap(self):
+        assert bits_for(0) == 1
+        assert bits_for(1) == 1
+        assert bits_for(2) == 2
+        assert bits_for(2**62 - 1) == 62
+        with pytest.raises(ValueError):
+            bits_for(2**63)
+
+    def test_pack_rejects_values_wider_than_width(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([8], dtype=np.int64), 3)
+
+    def test_word_boundary_crossing(self):
+        # Width 7 over 20 values straddles word boundaries repeatedly.
+        arr = np.arange(20, dtype=np.int64) * 6 + 1
+        words = pack_bits(arr, 7)
+        np.testing.assert_array_equal(unpack_bits(words, 20, 7), arr)
+
+
+# ------------------------------------------------------- compressed arena
+class TestCompressedArena:
+    def test_roundtrip_matches_uncompressed(self):
+        shard = build_shard(
+            [[VOCAB[min(j, i % 12)] for j in range(i % 7 + 1)] for i in range(50)]
+        )
+        arena = PostingsArena.from_shard(shard)
+        packed = CompressedPostingsArena.from_arena(arena)
+        assert packed.n_terms == arena.n_terms
+        assert packed.n_postings == arena.n_postings
+        for term in shard.terms():
+            raw = arena.run(term)
+            run = packed.run(term)
+            np.testing.assert_array_equal(run.doc_ids, raw.doc_ids)
+            np.testing.assert_array_equal(run.tfs, raw.tfs)
+            np.testing.assert_array_equal(
+                run.scores.view(np.int64), raw.scores.view(np.int64)
+            )
+            np.testing.assert_array_equal(run.block_maxes, raw.block_maxes)
+            assert run.upper_bound == raw.upper_bound
+
+    def test_empty_and_single_posting_terms(self):
+        shard = make_shard(
+            {
+                "empty": ([], []),
+                "single": ([7], [3]),
+                "pair": ([1, 9], [1, 2]),
+            }
+        )
+        packed = CompressedPostingsArena.from_arena(
+            PostingsArena.from_shard(shard)
+        )
+        assert packed.run("empty").doc_ids.size == 0
+        single = packed.run("single")
+        np.testing.assert_array_equal(single.doc_ids, [7])
+        np.testing.assert_array_equal(single.tfs, [3])
+        pair = packed.run("pair")
+        np.testing.assert_array_equal(pair.doc_ids, [1, 9])
+
+    def test_maximal_doc_id_delta(self):
+        # One gap of nearly 2**62: the widest delta the format can see.
+        shard = make_shard({"wide": ([0, 2**62 - 1], [1, 1])})
+        packed = CompressedPostingsArena.from_arena(
+            PostingsArena.from_shard(shard)
+        )
+        np.testing.assert_array_equal(
+            packed.run("wide").doc_ids, [0, 2**62 - 1]
+        )
+
+    def test_non_monotonic_doc_ids_rejected(self):
+        arena = PostingsArena(
+            terms=["bad"],
+            offsets=np.array([0, 2], dtype=np.int64),
+            doc_ids=np.array([9, 3], dtype=np.int64),
+            tfs=np.array([1, 1], dtype=np.int32),
+            scores=np.array([0.5, 0.5], dtype=np.float64),
+            upper_bounds=np.array([0.5], dtype=np.float64),
+            block_maxes=np.array([0.5], dtype=np.float64),
+            block_offsets=np.array([0, 1], dtype=np.int64),
+            block_size=64,
+        )
+        with pytest.raises(ValueError, match="strictly increasing"):
+            CompressedPostingsArena.from_arena(arena)
+
+    def test_negative_doc_id_rejected(self):
+        arena = PostingsArena(
+            terms=["neg"],
+            offsets=np.array([0, 1], dtype=np.int64),
+            doc_ids=np.array([-4], dtype=np.int64),
+            tfs=np.array([1], dtype=np.int32),
+            scores=np.array([0.5], dtype=np.float64),
+            upper_bounds=np.array([0.5], dtype=np.float64),
+            block_maxes=np.array([0.5], dtype=np.float64),
+            block_offsets=np.array([0, 1], dtype=np.int64),
+            block_size=64,
+        )
+        with pytest.raises(ValueError, match="negative doc id"):
+            CompressedPostingsArena.from_arena(arena)
+
+    def test_negative_zero_scores_survive(self):
+        """-0.0 != 0.0 under repr(); the codebook must not merge them."""
+        shard = make_shard({"z": ([1, 2, 3], [1, 1, 1])})
+        shard.term("z").scores[:] = [0.0, -0.0, 0.0]
+        packed = CompressedPostingsArena.from_arena(
+            PostingsArena.from_shard(shard)
+        )
+        decoded = packed.run("z").scores
+        assert [repr(s) for s in decoded.tolist()] == ["0.0", "-0.0", "0.0"]
+
+    def test_decode_cache_bounded_and_counted(self):
+        shard = build_shard([[VOCAB[i % 12]] * 3 for i in range(60)])
+        packed = CompressedPostingsArena.from_arena(
+            PostingsArena.from_shard(shard), cache_bytes=2048
+        )
+        for term in sorted(shard.terms()) * 2:
+            packed.run(term)
+        stats = packed.decode_stats
+        assert stats.bytes <= 2048 or stats.entries == 1
+        assert stats.hits + stats.misses == 2 * len(shard.terms())
+        assert stats.misses >= len(shard.terms())
+
+
+# ------------------------------------------------------------ persistence
+class TestStoreRoundTrip:
+    @pytest.fixture(scope="class")
+    def shard(self):
+        return build_shard(
+            [[VOCAB[min(j, i % 12)] for j in range(i % 7 + 1)] for i in range(60)]
+        )
+
+    def test_file_roundtrip(self, shard, tmp_path):
+        path = write_store(shard, tmp_path / "s.store")
+        reopened = open_store(path)
+        assert_columns_equal(shard, reopened)
+        assert reopened.n_docs == shard.n_docs
+        assert reopened.avg_doc_length == shard.avg_doc_length
+        assert reopened.doc_lengths == shard.doc_lengths
+        assert type(reopened.similarity) is type(shard.similarity)
+
+    def test_buffer_is_same_bytes_as_file(self, shard, tmp_path):
+        path = write_store(shard, tmp_path / "s.store")
+        blob = serialize_shard(shard)
+        assert path.read_bytes() == blob
+        reopened = open_store_buffer(blob)
+        assert_columns_equal(shard, reopened)
+
+    def test_open_is_lazy(self, shard, tmp_path):
+        path = write_store(shard, tmp_path / "s.store")
+        reopened = open_store(path)
+        assert reopened._terms == {}
+        reopened.term(VOCAB[0])
+        assert list(reopened._terms) == [VOCAB[0]]
+
+    def test_search_fingerprints_match(self, shard, tmp_path):
+        path = write_store(shard, tmp_path / "s.store")
+        reopened = open_store(path)
+        for terms in ([VOCAB[0], VOCAB[1]], [VOCAB[3]], ["oov"]):
+            want = maxscore_search(shard, list(terms), 10).fingerprint()
+            assert maxscore_search(reopened, list(terms), 10).fingerprint() == want
+            assert (
+                maxscore_search_kernel(reopened, list(terms), 10).fingerprint()
+                == maxscore_search_kernel(shard, list(terms), 10).fingerprint()
+            )
+
+    def test_adversarial_columns_roundtrip(self, tmp_path):
+        shard = make_shard(
+            {
+                "empty": ([], []),
+                "one": ([2**61], [24]),
+                "wide": ([0, 2**62 - 1], [1, 1]),
+                "dense": (list(range(64)), [1] * 64),
+            }
+        )
+        reopened = open_store(write_store(shard, tmp_path / "adv.store"))
+        assert_columns_equal(shard, reopened)
+
+    def test_corrupt_magic_rejected(self, shard, tmp_path):
+        path = write_store(shard, tmp_path / "s.store")
+        blob = bytearray(path.read_bytes())
+        blob[:4] = b"XXXX"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="magic"):
+            open_store(path)
+
+    def test_truncated_file_rejected(self, shard, tmp_path):
+        path = write_store(shard, tmp_path / "s.store")
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(ValueError):
+            open_store(path)
+
+    def test_newline_in_term_rejected(self):
+        shard = make_shard({"bad\nterm": ([1], [1])})
+        with pytest.raises(ValueError, match="newline"):
+            serialize_shard(shard)
+
+    def test_pack_and_open_directory(self, tmp_path):
+        shards = [
+            build_shard([[VOCAB[i % 12]] * (s + 1) for i in range(20)])
+            for s in range(3)
+        ]
+        for shard_id, shard in enumerate(shards):
+            shard.shard_id = shard_id
+        paths = pack_shards(shards, tmp_path / "packed")
+        assert [p.name for p in paths] == [
+            "shard_0.store", "shard_1.store", "shard_2.store",
+        ]
+        reopened = open_stores(tmp_path / "packed")
+        assert [s.shard_id for s in reopened] == [0, 1, 2]
+        for shard, loaded in zip(shards, reopened):
+            assert_columns_equal(shard, loaded)
+
+    def test_store_info(self, shard, tmp_path):
+        path = write_store(shard, tmp_path / "s.store")
+        info = store_info(path)
+        assert info["meta"]["n_docs"] == shard.n_docs
+        assert info["file_bytes"] == path.stat().st_size
+        assert info["raw_column_bytes"] == info["meta"]["n_postings"] * 20
+        assert info["compression_ratio"] > 0
+
+
+# -------------------------------------------------- property-based sweep
+documents = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=25),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestPropertyRoundTrip:
+    @given(docs=documents)
+    def test_serialize_reopen_is_identity(self, docs):
+        shard = build_shard(docs)
+        reopened = open_store_buffer(serialize_shard(shard))
+        assert_columns_equal(shard, reopened)
+        assert reopened.doc_lengths == shard.doc_lengths

@@ -15,13 +15,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.index import Document, IndexBuilder
+from repro.index import Document, IndexBuilder, open_store_buffer, serialize_shard
 from repro.retrieval import (
     block_max_wand_search,
+    block_max_wand_search_kernel,
+    conjunctive_search,
+    conjunctive_search_kernel,
     exhaustive_search,
     exhaustive_search_daat,
     maxscore_search,
+    maxscore_search_kernel,
     wand_search,
+    wand_search_kernel,
 )
 from repro.text import WhitespaceAnalyzer
 
@@ -139,3 +144,54 @@ class TestExplicitEdgeCases:
         challenger = CHALLENGERS[name](shard, ["w0"], 10_000)
         assert_same_topk(reference, challenger)
         assert len(reference.hits) == shard.doc_freq("w0")
+
+
+class TestCompressedStoreEquivalence:
+    """Compressed mmap-backed shards are *bit-identical* to in-memory ones.
+
+    Stronger than ``assert_same_topk``: the store round-trip must not
+    change a single bit of any strategy's output, so fingerprints (repr
+    of every score, plus all ``CostStats`` counters) are compared for
+    both the scalar references and the arena kernels, kernels forced on
+    (``min_postings=0``) so small Hypothesis corpora exercise the
+    vectorized decode path.
+    """
+
+    PAIRS = {
+        "maxscore": maxscore_search,
+        "wand": wand_search,
+        "block_max_wand": block_max_wand_search,
+        "conjunctive": conjunctive_search,
+    }
+    KERNELS = {
+        "maxscore": lambda s, q, k: maxscore_search_kernel(s, q, k, min_postings=0),
+        "wand": wand_search_kernel,
+        "block_max_wand": block_max_wand_search_kernel,
+        "conjunctive": conjunctive_search_kernel,
+    }
+
+    @given(docs=documents, query=queries, k=ks)
+    def test_scalars_bit_identical_on_compressed(self, docs, query, k):
+        shard = build_shard(docs)
+        reopened = open_store_buffer(serialize_shard(shard))
+        for name, fn in self.PAIRS.items():
+            want = fn(shard, list(query), k).fingerprint()
+            assert fn(reopened, list(query), k).fingerprint() == want, name
+
+    @given(docs=documents, query=queries, k=ks)
+    def test_kernels_bit_identical_on_compressed(self, docs, query, k):
+        shard = build_shard(docs)
+        reopened = open_store_buffer(serialize_shard(shard))
+        for name, fn in self.KERNELS.items():
+            want = fn(shard, list(query), k).fingerprint()
+            assert fn(reopened, list(query), k).fingerprint() == want, name
+
+    @given(docs=documents, query=queries, k=ks)
+    def test_compressed_kernels_match_uncompressed_scalars(self, docs, query, k):
+        """The cross-check the storage layer's contract is named for."""
+        shard = build_shard(docs)
+        reopened = open_store_buffer(serialize_shard(shard))
+        for name in self.PAIRS:
+            want = self.PAIRS[name](shard, list(query), k).fingerprint()
+            got = self.KERNELS[name](reopened, list(query), k).fingerprint()
+            assert got == want, name
