@@ -9,6 +9,7 @@ Four subcommands cover the common workflows::
     repro bench --scale small --out BENCH_inference.json  # inference microbench
     repro trace --policy cottage --export perfetto     # telemetry-traced run
     repro faults --scale unit --replicas 2             # fault scenario matrix
+    repro serve --scale unit --policy cottage          # open-loop QPS sweep
     repro lint src/repro                               # determinism linter
 
 ``python -m repro ...`` works identically.
@@ -355,6 +356,105 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Open-loop saturation campaign: sweep offered QPS, locate the knee."""
+    import json
+
+    from repro.serving import (
+        AdmissionConfig,
+        CampaignConfig,
+        SweepPoint,
+        pool_from_corpus,
+        run_campaign,
+    )
+    from repro.serving.campaign import ARRIVAL_KINDS
+
+    if args.policy not in ALL_POLICIES:
+        print(
+            f"unknown policy {args.policy!r}; options: {', '.join(ALL_POLICIES)}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.arrival not in ARRIVAL_KINDS:
+        print(
+            f"unknown arrival {args.arrival!r}; options: {', '.join(ARRIVAL_KINDS)}",
+            file=sys.stderr,
+        )
+        return 1
+    admission = None
+    if not args.no_admission:
+        admission = AdmissionConfig(
+            max_in_flight=args.max_in_flight,
+            deadline_slo_ms=args.deadline_slo_ms or None,
+        )
+    try:
+        config = CampaignConfig(
+            qps_grid=tuple(args.qps or ()),
+            queries_per_point=args.queries,
+            arrival=args.arrival,
+            seed=args.seed,
+            admission=admission,
+            cache_capacity=args.cache_capacity,
+        )
+    except ValueError as exc:
+        print(f"invalid campaign: {exc}", file=sys.stderr)
+        return 1
+    testbed = Testbed.build(_scale(args.scale), workers=args.workers)
+    pool = pool_from_corpus(
+        testbed.corpus, n_distinct=args.distinct, flavour=args.trace_flavour
+    )
+    header = (
+        f"{'offered':>9} {'realized':>9} {'goodput':>9} {'ratio':>6} "
+        f"{'shed':>6} {'p50_ms':>8} {'p99_ms':>8} {'pred_ms':>8} "
+        f"{'power_w':>8} {'util':>5}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    def _show(point: SweepPoint) -> None:
+        predicted = point.predicted_mean_latency_ms
+        print(
+            f"{point.offered_qps:>9.1f} {point.realized_qps:>9.1f} "
+            f"{point.goodput_qps:>9.1f} {point.goodput_ratio:>6.3f} "
+            f"{point.shed:>6} {point.p50_ms:>8.2f} {point.p99_ms:>8.2f} "
+            f"{predicted:>8.2f} "
+            f"{point.average_power_w:>8.2f} {point.max_core_utilization:>5.2f}"
+        )
+
+    result = run_campaign(
+        testbed.cluster,
+        lambda: testbed.make_policy(args.policy),
+        pool,
+        config,
+        on_point=_show,
+        workers=args.workers,
+        backend=args.backend,
+    )
+    print()
+    print(
+        f"{result.total_queries} queries under {result.policy_name!r} "
+        f"({result.arrival} arrivals): predicted saturation "
+        f"{result.predicted_knee_qps:.1f} qps, measured knee "
+        f"{result.knee.knee_qps:.1f} qps (ratio {result.knee_ratio:.3f}, "
+        f"{'saturated' if result.knee.saturated else 'sweep never saturated'})"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.snapshot(), fh, indent=2)
+        print(f"wrote {args.out}")
+    if args.fail_knee_tolerance is not None and not result.knee_within(
+        args.fail_knee_tolerance
+    ):
+        print(
+            f"FAIL: measured knee {result.knee.knee_qps:.1f} qps not within "
+            f"{100 * args.fail_knee_tolerance:.0f}% of predicted "
+            f"{result.predicted_knee_qps:.1f} qps (or sweep never saturated)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run simlint.  Exit-code contract: 0 clean, 1 findings, 2 internal error."""
     from pathlib import Path
@@ -555,6 +655,66 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the matrix as JSON (BENCH_faults.json)")
     faults.add_argument("--workers", type=int, default=1, help=workers_help)
     faults.set_defaults(fn=_cmd_faults)
+
+    serve = sub.add_parser(
+        "serve",
+        help="open-loop saturation campaign: QPS sweep, knee vs queueing model",
+    )
+    serve.add_argument("--scale", default="unit")
+    serve.add_argument("--policy", default="cottage",
+                       help=f"one of: {', '.join(ALL_POLICIES)}")
+    serve.add_argument(
+        "--trace-flavour", default="wikipedia",
+        choices=("wikipedia", "lucene"),
+        help="distinct-query pool flavour (same generators as the traces)",
+    )
+    serve.add_argument("--distinct", type=int, default=150,
+                       help="distinct queries in the Zipf pool")
+    serve.add_argument(
+        "--qps", type=float, nargs="*", metavar="QPS",
+        help="explicit offered-rate grid (default: fractions of the "
+        "model-predicted saturation, straddling the knee)",
+    )
+    serve.add_argument("--queries", type=int, default=2000,
+                       help="offered queries per sweep point")
+    serve.add_argument(
+        "--arrival", default="poisson",
+        choices=("poisson", "mmpp", "diurnal", "burst"),
+        help="arrival process for every sweep point",
+    )
+    serve.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (arrivals and popularity derive from it)")
+    serve.add_argument(
+        "--max-in-flight", type=int, default=512,
+        help="admission cap on in-flight queries (shed above it)",
+    )
+    serve.add_argument(
+        "--deadline-slo-ms", type=float, default=0.0,
+        help="deadline shedding SLO in ms (0 = rule off)",
+    )
+    serve.add_argument(
+        "--no-admission", action="store_true",
+        help="disable admission control entirely (queues may grow unboundedly "
+        "above saturation)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=0,
+        help="aggregator result-cache entries (0 = off; the knee gate "
+        "assumes off)",
+    )
+    serve.add_argument("--out", default="",
+                       help="write the campaign as JSON (BENCH_serving.json)")
+    serve.add_argument(
+        "--fail-knee-tolerance", type=float, default=None, metavar="REL",
+        help="exit nonzero unless the measured knee is within this relative "
+        "tolerance of the model prediction (e.g. 0.25)",
+    )
+    serve.add_argument("--workers", type=int, default=1, help=workers_help)
+    serve.add_argument(
+        "--backend", default="thread", choices=("thread", "process", "serial"),
+        help=backend_help,
+    )
+    serve.set_defaults(fn=_cmd_serve)
 
     lint = sub.add_parser(
         "lint",

@@ -28,6 +28,7 @@ one record per query is committed — the invariants
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.cluster.cache import ResultCache
 from repro.cluster.events import Simulator
@@ -49,6 +50,9 @@ from repro.cluster.types import (
 from repro.retrieval.query import Query
 from repro.retrieval.result import SearchResult, merge_results
 from repro.telemetry import NO_TELEMETRY, Telemetry
+
+if TYPE_CHECKING:  # avoids a runtime cluster <-> serving import cycle
+    from repro.serving.admission import AdmissionController
 
 _TRACK = "aggregator"
 
@@ -109,6 +113,8 @@ class Aggregator:
         telemetry: Telemetry | None = None,
         replication: ReplicationConfig | None = None,
         selector: ReplicaSelector | None = None,
+        admission: AdmissionController | None = None,
+        record_sink: Callable[[QueryRecord], None] | None = None,
     ) -> None:
         """``isns`` is one entry per shard: either a bare :class:`ISNServer`
         (single replica, the pre-replication form) or that shard's replica
@@ -116,7 +122,16 @@ class Aggregator:
         policies: with fail-silent ISNs in play, exhaustive-style "wait for
         everyone" would otherwise never answer.  ``selector`` overrides the
         replica selector built from ``replication`` (used to share one
-        seeded selector across direct constructions)."""
+        seeded selector across direct constructions).
+
+        ``admission`` gates every cache-missing query before the policy
+        runs (see :mod:`repro.serving.admission`): a rejected query is
+        answered empty after the controller's fast-reject delay and
+        committed with ``shed=True`` — and is *not* shown to the policy's
+        ``observe``.  ``record_sink`` replaces the ``records`` list with a
+        streaming consumer, so million-query open-loop campaigns retain
+        no per-query state.  Both default to ``None``, which is
+        bit-identical to the pre-serving-plane aggregator."""
         if not isns:
             raise ValueError("cluster needs at least one ISN")
         if response_timeout_ms is not None and response_timeout_ms <= 0:
@@ -133,11 +148,17 @@ class Aggregator:
         self.k = k
         self.cache = cache
         self.response_timeout_ms = response_timeout_ms
+        self.admission = admission
+        self._record_sink = record_sink
         self.records: list[QueryRecord] = []
         self._default_freq = self.groups[0][0].freq_scale.default_ghz
         self._max_freq = self.groups[0][0].freq_scale.max_ghz
         # Run-level tail-tolerance accounting (surfaced on RunResult).
         self.queries_seen = 0
+        # Serving-plane accounting (all zero without admission control).
+        self.admitted = 0
+        self.shed_queue_depth = 0
+        self.shed_deadline = 0
         self.hedges_issued = 0
         self.hedge_wins = 0
         self.cancels_sent = 0
@@ -152,6 +173,8 @@ class Aggregator:
         metrics = telemetry.metrics
         self._m_cache_hits = metrics.counter("aggregator.result_cache.hits")
         self._m_cache_misses = metrics.counter("aggregator.result_cache.misses")
+        self._m_admitted = metrics.counter("aggregator.admitted")
+        self._m_shed = metrics.counter("aggregator.shed")
         self._m_stragglers = metrics.counter("aggregator.stragglers_dropped")
         self._m_hedges = metrics.counter("aggregator.hedges_issued")
         self._m_hedge_wins = metrics.counter("aggregator.hedge_wins")
@@ -209,6 +232,31 @@ class Aggregator:
                 return
             if qspan is not None:
                 self._m_cache_misses.add()
+        if self.admission is not None:
+            reason = self.admission.admit(query, self.view(), arrival)
+            if reason is not None:
+                if reason == "deadline":
+                    self.shed_deadline += 1
+                else:
+                    self.shed_queue_depth += 1
+                if qspan is not None:
+                    self._m_shed.add()
+                    qspan.attrs["shed"] = reason
+                    qspan.finish()
+                record = QueryRecord(
+                    query=query,
+                    arrival_ms=arrival,
+                    latency_ms=self.admission.reject_ms,
+                    result=SearchResult(),
+                    decision=Decision(shard_ids=()),
+                    shed=True,
+                )
+                self._commit(record)
+                return
+            self.admission.on_admit(query.query_id, arrival)
+        self.admitted += 1
+        if qspan is not None:
+            self._m_admitted.add()
         if tracer is None:
             decision = self.policy.decide(query, self.view())
         else:
@@ -539,5 +587,13 @@ class Aggregator:
         self._commit(record)
 
     def _commit(self, record: QueryRecord) -> None:
-        self.records.append(record)
-        self.policy.observe(record)
+        if self._record_sink is None:
+            self.records.append(record)
+        else:
+            self._record_sink(record)
+        if self.admission is not None and not record.shed:
+            self.admission.on_finalize(record)
+        if not record.shed:
+            # Shed queries never reached the policy; showing them to
+            # adaptive policies would poison their latency feedback.
+            self.policy.observe(record)

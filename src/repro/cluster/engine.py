@@ -8,18 +8,18 @@ the same trace costs retrieval only once.
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
 
-from repro.cluster.aggregator import Aggregator
 from repro.cluster.cache import CacheStats, ResultCache
 from repro.cluster.cpu import CostModel, FrequencyScale
-from repro.cluster.events import Simulator
 from repro.cluster.faults import FaultSchedule
 from repro.cluster.governor import FrequencyGovernor
-from repro.cluster.isn import ISNServer
 from repro.cluster.network import NetworkModel
-from repro.cluster.power import EnergyMeter, PowerModel, PowerReport, package_report
-from repro.cluster.replicas import ReplicationConfig, make_selector
+from repro.cluster.power import PowerModel, PowerReport
+from repro.cluster.replicas import ReplicationConfig
 from repro.cluster.sleep import SleepPolicy
 from repro.cluster.types import QueryRecord, SelectionPolicy
 from repro.index.shard import IndexShard
@@ -29,9 +29,13 @@ from repro.retrieval.executor import (
     make_executor,
     prewarm_searchers,
 )
-from repro.retrieval.query import QueryTrace
+from repro.retrieval.query import Query, QueryTrace
 from repro.retrieval.searcher import DistributedSearcher, SearcherCacheStats
-from repro.telemetry import NO_TELEMETRY, Telemetry
+from repro.telemetry import Telemetry
+
+if TYPE_CHECKING:  # the serving plane imports this module at runtime
+    from repro.serving.admission import AdmissionController
+    from repro.serving.orchestrator import ServingStats
 
 
 @dataclass
@@ -64,6 +68,19 @@ class RunResult:
     # postings are uncompressed); per-run deltas like the memo counters.
     decode_hits: int = 0
     decode_misses: int = 0
+    # Serving-plane accounting.  The result-cache counters are per-run
+    # deltas (the cache object persists across runs, like the memos);
+    # shed/admitted are zero without admission control, and ``serving``
+    # holds the streaming sink when records were not retained
+    # (``retain_records=False`` open-loop runs).
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    offered_queries: int = 0
+    admitted_queries: int = 0
+    shed_queries: int = 0
+    shed_queue_depth: int = 0
+    shed_deadline: int = 0
+    serving: ServingStats | None = None
 
     def latencies_ms(self) -> list[float]:
         return [record.latency_ms for record in self.records]
@@ -80,6 +97,29 @@ class RunResult:
         if self.total_service_ms <= 0:
             return 0.0
         return self.wasted_service_ms / self.total_service_ms
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        """This run's aggregator result-cache hit rate (0 without a cache)."""
+        lookups = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def completed_queries(self) -> int:
+        """Queries answered with real work (offered minus shed)."""
+        return self.offered_queries - self.shed_queries
+
+    def goodput_qps(self) -> float:
+        """Completed queries per second of simulated elapsed time."""
+        return self.completed_queries / (self.elapsed_ms / 1000.0)
+
+
+def _close_pooled(pooled: dict[tuple[int, str], ShardExecutor]) -> None:
+    """Close every pooled executor (module-level so a weakref finalizer
+    can run it without keeping the cluster alive)."""
+    for key in sorted(pooled):
+        pooled[key].close()
+    pooled.clear()
 
 
 class SearchCluster:
@@ -118,10 +158,70 @@ class SearchCluster:
             shards, k=k, strategy=strategy, executor=self.executor
         )
         self.shards = shards
+        # Per-run executor overrides are served from this pool so worker
+        # processes (and their attach registries / shm segments) persist
+        # across successive run_trace/serve calls instead of re-spawning.
+        # The finalizer releases them at GC / interpreter exit even if the
+        # owner never calls close().
+        self._pooled_executors: dict[tuple[int, str], ShardExecutor] = {}
+        self._pool_finalizer = weakref.finalize(
+            self, _close_pooled, self._pooled_executors
+        )
 
     @property
     def n_shards(self) -> int:
         return len(self.shards)
+
+    def pooled_executor(self, workers: int, backend: str = "thread") -> ShardExecutor:
+        """The persistent executor for ``(workers, backend)``.
+
+        Created on first use, then reused by every later override with
+        the same shape — a process pool keeps its workers (and their
+        attached shards) warm across runs.  Owned by the cluster:
+        released by :meth:`close`, never by the per-run override path.
+        """
+        key = (workers, backend)
+        executor = self._pooled_executors.get(key)
+        if executor is None:
+            executor = make_executor(workers, backend=backend)
+            self._pooled_executors[key] = executor
+        return executor
+
+    def close(self) -> None:
+        """Release pooled executors (worker processes, shm segments).
+
+        The cluster's own ``executor`` (passed in or the default serial
+        one) is the caller's to manage, exactly as before pooling.
+        Idempotent; the cluster remains usable and will lazily rebuild
+        pools on the next override.
+        """
+        _close_pooled(self._pooled_executors)
+
+    def __enter__(self) -> SearchCluster:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @contextmanager
+    def _executor_override(
+        self, workers: int | None, backend: str | None
+    ) -> Iterator[None]:
+        """Temporarily swap in a pooled executor for one run."""
+        if workers is None and backend is None:
+            yield
+            return
+        override = self.pooled_executor(
+            workers if workers is not None else self.executor.workers,
+            backend or "thread",
+        )
+        previous = self.executor
+        self.executor = self.searcher.executor = override
+        try:
+            yield
+        finally:
+            self.executor = previous
+            self.searcher.executor = previous
 
     def run_trace(
         self,
@@ -179,165 +279,81 @@ class SearchCluster:
         (pinned by ``tests/test_telemetry_integration.py``).
 
         ``workers``/``backend`` override the cluster executor for this
-        run only: a temporary executor (``make_executor(workers,
-        backend)``) fans the prewarm out — ``backend="process"`` ships
-        shard searches to worker processes that attach the shards via
-        mmap/shared memory — and is closed and swapped back afterwards.
-        Outcomes stay bit-identical; only where the retrieval CPU time
-        is spent changes.
+        run only: a *pooled* executor (see :meth:`pooled_executor`) fans
+        the prewarm out — ``backend="process"`` ships shard searches to
+        worker processes that attach the shards via mmap/shared memory —
+        and is swapped back afterwards but kept warm for the next run
+        with the same shape (release with :meth:`close`).  Outcomes stay
+        bit-identical; only where the retrieval CPU time is spent
+        changes.
+
+        The run itself is executed by the serving plane
+        (:class:`repro.serving.orchestrator.ServingPlane`): a closed-loop
+        trace is its degenerate configuration — all arrivals scheduled up
+        front, every record retained, no admission control — and replays
+        bit-identically to the pre-serving-plane engine.
         """
-        if workers is not None or backend is not None:
-            override = make_executor(
-                workers if workers is not None else self.executor.workers,
-                backend=backend or "thread",
+        from repro.serving.orchestrator import ServingPlane  # no import cycle
+
+        with self._executor_override(workers, backend):
+            return ServingPlane(self).run(
+                trace,
+                policy,
+                governor=governor,
+                cache=cache,
+                faults=faults,
+                response_timeout_ms=response_timeout_ms,
+                sleep=sleep,
+                prewarm=prewarm,
+                telemetry=telemetry,
+                replication=replication,
             )
-            previous = self.executor
-            self.executor = self.searcher.executor = override
-            try:
-                return self.run_trace(
-                    trace,
-                    policy,
-                    governor=governor,
-                    cache=cache,
-                    faults=faults,
-                    response_timeout_ms=response_timeout_ms,
-                    sleep=sleep,
-                    prewarm=prewarm,
-                    telemetry=telemetry,
-                    replication=replication,
-                )
-            finally:
-                self.executor = previous
-                self.searcher.executor = previous
-                override.close()
-        if prewarm is None:
-            # Remote executors only move retrieval off-process during the
-            # prewarm fan-out (replay hits the ISNs' local memos), so they
-            # always prewarm; threads prewarm iff they can pipeline.
-            prewarm_retrieval = self.executor.workers > 1 or self.executor.remote
-            prewarm_policy = True
-        else:
-            prewarm_retrieval = prewarm_policy = prewarm
-        telemetry = telemetry or NO_TELEMETRY
-        tracer = telemetry.tracer if telemetry.enabled else None
-        sim = Simulator(telemetry)
-        if tracer is not None:
-            telemetry.bind_clock(lambda: sim.now)
-        policy_bind = getattr(policy, "bind_telemetry", None)
-        if policy_bind is not None:
-            policy_bind(telemetry)
-        self.executor.bind_telemetry(telemetry)
-        self.searcher.bind_telemetry(telemetry)
-        cache_before = self._searcher_totals()
-        decode_before = self._decode_totals()
-        try:
-            if prewarm_retrieval:
-                if tracer is None:
-                    self.prewarm_trace(trace)
-                else:
-                    with tracer.span(
-                        "cluster.prewarm_retrieval", track="cluster",
-                        n_queries=len(trace.queries),
-                    ):
-                        self.prewarm_trace(trace)
-            if prewarm_policy:
-                # Optional hook: minimal duck-typed policies may omit it.
-                policy_prewarm = getattr(policy, "prewarm", None)
-                if policy_prewarm is not None:
-                    if tracer is None:
-                        policy_prewarm(trace.queries)
-                    else:
-                        with tracer.span(
-                            "cluster.prewarm_policy", track="cluster",
-                            n_queries=len(trace.queries),
-                        ):
-                            policy_prewarm(trace.queries)
-            repl = replication or ReplicationConfig()
-            # Meters stay a flat list (shard-major: shard i's replica r is
-            # meters[i * R + r]) so package_report sums the whole cluster.
-            meters = [
-                EnergyMeter(self.power_model)
-                for _ in range(self.n_shards * repl.n_replicas)
-            ]
-            groups = [
-                [
-                    ISNServer(
-                        shard_id=i,
-                        searcher=self.searcher.searchers[i],
-                        cost_model=self.cost_model,
-                        freq_scale=self.freq_scale,
-                        meter=meters[i * repl.n_replicas + r],
-                        governor=governor,
-                        faults=faults,
-                        sleep=sleep,
-                        telemetry=telemetry,
-                        replica_id=r,
-                    )
-                    for r in range(repl.n_replicas)
-                ]
-                for i in range(self.n_shards)
-            ]
-            aggregator = Aggregator(
-                isns=groups, policy=policy, network=self.network, sim=sim, k=self.k,
-                cache=cache, response_timeout_ms=response_timeout_ms,
-                telemetry=telemetry, replication=repl,
-                selector=make_selector(repl),
+
+    def serve(
+        self,
+        source: Iterable[Query],
+        policy: SelectionPolicy,
+        *,
+        admission: AdmissionController | None = None,
+        retain_records: bool = False,
+        governor: FrequencyGovernor | None = None,
+        cache: ResultCache | None = None,
+        faults: FaultSchedule | None = None,
+        response_timeout_ms: float | None = None,
+        sleep: SleepPolicy | None = None,
+        prewarm: bool | None = None,
+        telemetry: Telemetry | None = None,
+        replication: ReplicationConfig | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> RunResult:
+        """Open-loop serving: drive a lazy query stream through the cluster.
+
+        ``source`` is any iterable of queries — typically a
+        :class:`repro.serving.stream.QueryStream` — consumed one arrival
+        at a time, so campaign length never bounds memory.  By default no
+        per-query records are retained: latency distributions come back
+        as streaming histograms on ``RunResult.serving``.  ``admission``
+        enables load shedding (see :mod:`repro.serving.admission`);
+        everything else matches :meth:`run_trace`.
+        """
+        from repro.serving.orchestrator import ServingPlane  # no import cycle
+
+        with self._executor_override(workers, backend):
+            return ServingPlane(self).run(
+                source,
+                policy,
+                governor=governor,
+                cache=cache,
+                faults=faults,
+                response_timeout_ms=response_timeout_ms,
+                sleep=sleep,
+                prewarm=prewarm,
+                telemetry=telemetry,
+                replication=replication,
+                admission=admission,
+                retain_records=retain_records,
             )
-            for query in trace:
-                sim.schedule_at(
-                    query.arrival_time * 1000.0,
-                    lambda q=query: aggregator.on_query(q),
-                )
-            if tracer is None:
-                sim.run()
-            else:
-                with tracer.span(
-                    "cluster.replay", track="cluster",
-                    policy=policy.name, n_queries=len(trace.queries),
-                ):
-                    sim.run()
-            elapsed = max(sim.now, trace.duration * 1000.0, 1e-9)
-            for group in groups:
-                for isn in group:
-                    isn.finalize_sleep(elapsed)
-        finally:
-            if tracer is not None:
-                telemetry.unbind_clock()
-            if policy_bind is not None:
-                policy_bind(NO_TELEMETRY)
-            self.executor.bind_telemetry(NO_TELEMETRY)
-            self.searcher.bind_telemetry(NO_TELEMETRY)
-        report = package_report(meters, self.power_model, elapsed)
-        records = sorted(aggregator.records, key=lambda r: r.arrival_ms)
-        hits_after, comps_after = self._searcher_totals()
-        decode_after = self._decode_totals()
-        if tracer is not None:
-            metrics = telemetry.metrics
-            metrics.gauge("run.events_processed").set(sim.events_processed)
-            metrics.gauge("run.elapsed_sim_ms").set(elapsed)
-            metrics.gauge("run.queries").set(len(records))
-            metrics.gauge("run.decode_hits").set(decode_after[0] - decode_before[0])
-            metrics.gauge("run.decode_misses").set(decode_after[1] - decode_before[1])
-        return RunResult(
-            policy_name=policy.name,
-            records=records,
-            power=report,
-            elapsed_ms=elapsed,
-            cache_stats=cache.stats if cache is not None else None,
-            events_processed=sim.events_processed,
-            clamped_schedules=sim.clamped_schedules,
-            searcher_hits=hits_after - cache_before[0],
-            searcher_computations=comps_after - cache_before[1],
-            hedges_issued=aggregator.hedges_issued,
-            hedge_wins=aggregator.hedge_wins,
-            cancels_sent=aggregator.cancels_sent,
-            cancelled_in_queue=aggregator.cancelled_in_queue,
-            duplicates_dropped=aggregator.duplicates_dropped,
-            total_service_ms=aggregator.total_service_ms,
-            counted_service_ms=aggregator.counted_service_ms,
-            decode_hits=decode_after[0] - decode_before[0],
-            decode_misses=decode_after[1] - decode_before[1],
-        )
 
     def _searcher_totals(self) -> tuple[int, int]:
         """Cluster-wide (hits, computations) sums of the searcher memos."""

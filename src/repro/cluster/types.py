@@ -121,6 +121,10 @@ class QueryRecord:
     decision: Decision
     outcomes: list[ShardOutcome] = field(default_factory=list)
     from_cache: bool = False
+    #: Rejected by admission control before any ISN was touched (the
+    #: serving plane's load shedding); the result is empty and the
+    #: latency is the fast-reject reply time.
+    shed: bool = False
 
     @property
     def n_selected(self) -> int:

@@ -416,6 +416,10 @@ class ProcessExecutor(ShardExecutor):
         self._start_method = start_method
         self._pool: _futures.ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        # How many times a worker pool was created — 1 across any number
+        # of runs that reuse this executor (the pool-persistence contract
+        # tests/test_serving_plane.py pins); +1 after each close().
+        self.spawn_count = 0
         # id(shard) -> spec for shards this executor published itself,
         # plus the backing segments/files to unlink on close.
         self._published: dict[int, AttachSpec] = {}
@@ -474,6 +478,7 @@ class ProcessExecutor(ShardExecutor):
                     max_workers=self._workers,
                     mp_context=multiprocessing.get_context(self._start_method),
                 )
+                self.spawn_count += 1
             return self._pool
 
     def _run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:

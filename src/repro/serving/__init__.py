@@ -1,0 +1,78 @@
+"""The open-loop serving plane: load generation, admission, campaigns.
+
+Layer map (the executors/orchestrator/processor split):
+
+* :mod:`repro.serving.arrivals` — seeded Poisson/MMPP/modulated arrival
+  processes with diurnal, burst, and QPS-sweep profiles;
+* :mod:`repro.serving.stream` — lazy :class:`QueryStream` workloads over
+  Zipf-popular query pools (bounded memory at any length);
+* :mod:`repro.serving.admission` — queue-depth and deadline shedding, a
+  per-query deadline queue;
+* :mod:`repro.serving.orchestrator` — :class:`ServingPlane`, the run
+  lifecycle shared by closed-loop ``run_trace`` (its degenerate,
+  bit-identical configuration) and open-loop ``SearchCluster.serve``;
+* :mod:`repro.serving.queueing` — the closed M/G/1 fork-join model and
+  the measured-knee locator;
+* :mod:`repro.serving.campaign` — QPS sweeps producing
+  throughput–latency–power curves and the knee-vs-model verdict.
+"""
+
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    DeadlineQueue,
+)
+from repro.serving.arrivals import (
+    ArrivalProcess,
+    BurstProfile,
+    DiurnalProfile,
+    MMPPProcess,
+    ModulatedPoissonProcess,
+    PoissonProcess,
+    StepProfile,
+    make_arrivals,
+)
+from repro.serving.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    SweepPoint,
+    run_campaign,
+    zipf_weights,
+)
+from repro.serving.orchestrator import ServingPlane, ServingStats
+from repro.serving.queueing import (
+    ClusterQueueingModel,
+    KneeEstimate,
+    ShardLoadModel,
+    locate_knee,
+    model_from_policy,
+)
+from repro.serving.stream import QueryStream, pool_from_corpus
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ArrivalProcess",
+    "BurstProfile",
+    "CampaignConfig",
+    "CampaignResult",
+    "ClusterQueueingModel",
+    "DeadlineQueue",
+    "DiurnalProfile",
+    "KneeEstimate",
+    "MMPPProcess",
+    "ModulatedPoissonProcess",
+    "PoissonProcess",
+    "QueryStream",
+    "ServingPlane",
+    "ServingStats",
+    "ShardLoadModel",
+    "StepProfile",
+    "SweepPoint",
+    "locate_knee",
+    "make_arrivals",
+    "model_from_policy",
+    "pool_from_corpus",
+    "run_campaign",
+    "zipf_weights",
+]

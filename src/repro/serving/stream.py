@@ -1,0 +1,116 @@
+"""Lazy open-loop query streams over a Zipf-popular distinct-query pool.
+
+A :class:`QueryStream` pairs a seeded arrival process with a pool of
+distinct term-sets (the same pools :func:`repro.workloads.traces.
+build_query_pool` produces) and yields :class:`~repro.retrieval.query.
+Query` objects one at a time.  Nothing is materialized: a 1M-query
+campaign holds the pool (hundreds of tuples), the popularity CDF, and the
+one query currently in flight through the generator — the bounded-memory
+contract ``tests/test_arrivals.py`` pins with tracemalloc.
+
+Popularity is Zipf over pool rank (``rank**-exponent``), sampled by
+inverse-CDF against a cumulative vector, so draw count per query is
+exactly one uniform variate regardless of pool size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.retrieval.query import Query
+from repro.serving.arrivals import ArrivalProcess
+from repro.workloads.corpus import SyntheticCorpus
+from repro.workloads.traces import TraceConfig, build_query_pool
+
+
+class QueryStream:
+    """An unmaterialized open-loop workload: arrivals x popularity x pool.
+
+    Iteration restarts from scratch (both the arrival process and the
+    popularity sampler re-seed), so the same stream object replays the
+    identical query sequence every time — it can be consumed once for a
+    run and again for verification.
+
+    At least one stop condition (``max_queries`` / ``duration_s``) must be
+    set; both may be, and whichever trips first ends the stream.
+    """
+
+    def __init__(
+        self,
+        pool: Sequence[tuple[str, ...]],
+        arrivals: ArrivalProcess,
+        *,
+        popularity_exponent: float = 0.9,
+        seed: int = 0,
+        max_queries: int | None = None,
+        duration_s: float | None = None,
+    ) -> None:
+        if not pool:
+            raise ValueError("query pool must be non-empty")
+        if max_queries is None and duration_s is None:
+            raise ValueError("need a stop condition: max_queries or duration_s")
+        if max_queries is not None and max_queries < 1:
+            raise ValueError("max_queries must be positive")
+        if duration_s is not None and duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        self.pool = [tuple(terms) for terms in pool]
+        self.arrivals = arrivals
+        self.popularity_exponent = popularity_exponent
+        self.seed = seed
+        self.max_queries = max_queries
+        self.duration_s = duration_s
+        ranks = np.arange(1, len(self.pool) + 1, dtype=np.float64)
+        popularity = ranks**-popularity_exponent
+        popularity /= popularity.sum()
+        self._cdf = np.cumsum(popularity)
+        self._cdf[-1] = 1.0  # guard the inverse-CDF edge against rounding
+
+    def __iter__(self) -> Iterator[Query]:
+        rng = np.random.default_rng(self.seed)
+        limit = self.max_queries if self.max_queries is not None else math.inf
+        horizon = self.duration_s if self.duration_s is not None else math.inf
+        count = 0
+        for t in self.arrivals.times():
+            if count >= limit or t > horizon:
+                return
+            idx = int(np.searchsorted(self._cdf, float(rng.random()), side="right"))
+            terms = self.pool[min(idx, len(self.pool) - 1)]
+            yield Query(
+                query_id=count,
+                terms=terms,
+                text=" ".join(terms),
+                arrival_time=float(t),
+            )
+            count += 1
+
+    def distinct_queries(self) -> list[Query]:
+        """The pool as ad-hoc queries — the prewarm set.
+
+        Every streamed query's terms come from the pool, so warming these
+        warms every retrieval the stream can ever issue; its size is the
+        pool size, not the stream length.
+        """
+        return [
+            Query(query_id=i, terms=terms, text=" ".join(terms))
+            for i, terms in enumerate(self.pool)
+        ]
+
+    def offered_rate_qps(self) -> float:
+        """The arrival process's long-run offered rate."""
+        return self.arrivals.mean_rate_qps()
+
+
+def pool_from_corpus(
+    corpus: SyntheticCorpus,
+    n_distinct: int = 200,
+    flavour: str = "wikipedia",
+    seed: int = 11,
+) -> list[tuple[str, ...]]:
+    """The standard distinct-query pool (same generator the traces use)."""
+    config = TraceConfig(
+        flavour=flavour, n_distinct_queries=n_distinct, seed=seed
+    )
+    return build_query_pool(corpus, config)

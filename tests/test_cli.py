@@ -93,6 +93,68 @@ class TestFaultsCommand:
             assert cell["p99_latency_ms"] > 0.0
 
 
+class TestServeCommand:
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--policy", "cottage", "--qps", "50", "100",
+             "--queries", "500", "--arrival", "mmpp", "--seed", "7",
+             "--max-in-flight", "64", "--out", "s.json",
+             "--fail-knee-tolerance", "0.25"]
+        )
+        assert args.policy == "cottage"
+        assert args.qps == [50.0, 100.0]
+        assert args.queries == 500
+        assert args.arrival == "mmpp"
+        assert args.seed == 7
+        assert args.max_in_flight == 64
+        assert args.fail_knee_tolerance == 0.25
+
+    def test_unknown_policy_exits_one(self, capsys):
+        assert main(["serve", "--policy", "psychic"]) == 1
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_unknown_arrival_is_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "fractal"])
+
+    def test_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scale", "enormous"])
+
+    def test_invalid_campaign_exits_one(self, capsys):
+        assert main(["serve", "--queries", "0"]) == 1
+        assert "invalid campaign" in capsys.readouterr().err
+
+    def test_serve_sweep_writes_json_and_gates(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_serving.json"
+        code = main(
+            ["serve", "--scale", "unit", "--policy", "exhaustive",
+             "--queries", "200", "--distinct", "30", "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "measured knee" in stdout and "predicted saturation" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["policy"] == "exhaustive"
+        assert payload["knee"]["saturated"] is True
+        assert payload["points"]
+        for point in payload["points"]:
+            assert point["completed"] + point["shed"] == point["offered_queries"]
+
+        # An unsaturated sweep (rates far below the knee) fails the gate.
+        predicted = payload["predicted_knee_qps"]
+        low = str(round(0.2 * predicted, 1))
+        code = main(
+            ["serve", "--scale", "unit", "--policy", "exhaustive",
+             "--queries", "60", "--distinct", "30", "--qps", low,
+             "--fail-knee-tolerance", "0.25"]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().err
+
+
 class TestLintCommand:
     """The `repro lint` exit-code contract: 0 clean, 1 findings, 2 error."""
 
