@@ -1,0 +1,114 @@
+"""Standalone adaptive-selection benchmark harness.
+
+Runs the oracle traversal sweep on a seeded zipf workload, trains the
+learned per-(query, shard) strategy selector from the sweep labels, and
+writes ``BENCH_selection.json`` for the perf trajectory (CI uploads it
+as an artifact)::
+
+    python benchmarks/run_bench_selection.py --out BENCH_selection.json
+
+Exits nonzero if any gate fails:
+
+* the learned selector's mean fan-out latency must not exceed the best
+  single static strategy's;
+* the learned selector must close at least ``--min-gap-closed`` percent
+  of the static-best-to-oracle latency gap;
+* every selected traversal must be bit-identical (result fingerprint)
+  to running that strategy standalone;
+* the rank-safe arms must agree on every top-k (the strategy
+  equivalence contract);
+* the simulated cluster replay with the selector must not regress the
+  static replay's mean latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import bench_selection  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-shards", type=int, default=bench_selection.N_SHARDS)
+    parser.add_argument(
+        "--docs-per-shard", type=int, default=bench_selection.DOCS_PER_SHARD
+    )
+    parser.add_argument("--n-queries", type=int, default=bench_selection.N_QUERIES)
+    parser.add_argument("-k", type=int, default=bench_selection.K)
+    parser.add_argument("--seed", type=int, default=bench_selection.SEED)
+    parser.add_argument(
+        "--iterations", type=int, default=bench_selection.ITERATIONS,
+        help="selector training iterations per shard model",
+    )
+    parser.add_argument(
+        "--hidden-units", type=int, default=bench_selection.HIDDEN_UNITS
+    )
+    parser.add_argument(
+        "--min-gap-closed", type=float, default=10.0,
+        help="gate: minimum percent of the static-to-oracle gap closed",
+    )
+    parser.add_argument(
+        "--no-sim", action="store_true",
+        help="skip the simulated cluster replay ablation",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_selection.json", help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"sweeping {args.n_queries} queries x {args.n_shards} shards and "
+        "training the strategy selector...",
+        flush=True,
+    )
+    result = bench_selection.run(
+        n_shards=args.n_shards,
+        docs_per_shard=args.docs_per_shard,
+        n_queries=args.n_queries,
+        k=args.k,
+        seed=args.seed,
+        hidden_units=args.hidden_units,
+        iterations=args.iterations,
+        with_sim=not args.no_sim,
+    )
+    print(bench_selection.format_report(result))
+    bench_selection.write_json(result, args.out)
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not result.rank_safe:
+        failures.append("rank-safe arms disagree on a top-k")
+    if not result.bit_identical:
+        failures.append(
+            "selector dispatch is not bit-identical to standalone runs"
+        )
+    if result.learned_mean_ms > result.best_static_mean_ms:
+        failures.append(
+            f"learned mean {result.learned_mean_ms:.3f} ms exceeds best "
+            f"static ({result.best_static}) {result.best_static_mean_ms:.3f} ms"
+        )
+    if result.gap_closed_pct < args.min_gap_closed:
+        failures.append(
+            f"learned closes {result.gap_closed_pct:.1f}% of the oracle gap, "
+            f"gate requires >= {args.min_gap_closed:.1f}%"
+        )
+    if result.sim:
+        static_sim = next(a for a in result.sim if a.name == "static_best")
+        learned_sim = next(a for a in result.sim if a.name == "learned")
+        if learned_sim.mean_ms > static_sim.mean_ms:
+            failures.append(
+                f"simulated learned mean {learned_sim.mean_ms:.3f} ms exceeds "
+                f"static replay {static_sim.mean_ms:.3f} ms"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import weakref
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.cluster.cache import CacheStats, ResultCache
@@ -30,7 +30,11 @@ from repro.retrieval.executor import (
     prewarm_searchers,
 )
 from repro.retrieval.query import Query, QueryTrace
-from repro.retrieval.searcher import DistributedSearcher, SearcherCacheStats
+from repro.retrieval.searcher import (
+    DistributedSearcher,
+    SearcherCacheStats,
+    StrategySelector,
+)
 from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # the serving plane imports this module at runtime
@@ -68,6 +72,10 @@ class RunResult:
     # postings are uncompressed); per-run deltas like the memo counters.
     decode_hits: int = 0
     decode_misses: int = 0
+    decode_evictions: int = 0
+    # Adaptive-dispatch composition: effective strategy name -> shard
+    # requests dispatched with it.  Empty without a strategy selector.
+    strategy_choices: dict[str, int] = field(default_factory=dict)
     # Serving-plane accounting.  The result-cache counters are per-run
     # deltas (the cache object persists across runs, like the memos);
     # shed/admitted are zero without admission control, and ``serving``
@@ -237,6 +245,8 @@ class SearchCluster:
         replication: ReplicationConfig | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        selector: StrategySelector | None = None,
+        decode_cache_size: int | None = None,
     ) -> RunResult:
         """Replay ``trace`` under ``policy`` and report latency + power.
 
@@ -287,6 +297,16 @@ class SearchCluster:
         bit-identical; only where the retrieval CPU time is spent
         changes.
 
+        ``selector`` enables per-(query, shard) adaptive traversal
+        selection (see :class:`repro.retrieval.searcher.StrategySelector`):
+        the aggregator consults it at dispatch, after the policy assigned
+        the time budget, and the chosen strategy's cost drives service
+        time and energy.  ``None`` — the default — is bit-identical to
+        the static dispatch path.  ``decode_cache_size`` re-budgets every
+        compressed shard's decode LRU (bytes) for this run and onwards;
+        shards without a built compressed arena are untouched (and never
+        force-built).
+
         The run itself is executed by the serving plane
         (:class:`repro.serving.orchestrator.ServingPlane`): a closed-loop
         trace is its degenerate configuration — all arrivals scheduled up
@@ -307,6 +327,8 @@ class SearchCluster:
                 prewarm=prewarm,
                 telemetry=telemetry,
                 replication=replication,
+                selector=selector,
+                decode_cache_size=decode_cache_size,
             )
 
     def serve(
@@ -326,6 +348,8 @@ class SearchCluster:
         replication: ReplicationConfig | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        selector: StrategySelector | None = None,
+        decode_cache_size: int | None = None,
     ) -> RunResult:
         """Open-loop serving: drive a lazy query stream through the cluster.
 
@@ -353,6 +377,8 @@ class SearchCluster:
                 replication=replication,
                 admission=admission,
                 retain_records=retain_records,
+                selector=selector,
+                decode_cache_size=decode_cache_size,
             )
 
     def _searcher_totals(self) -> tuple[int, int]:
@@ -363,31 +389,56 @@ class SearchCluster:
             sum(s.computations for s in stats),
         )
 
-    def _decode_totals(self) -> tuple[int, int]:
-        """Cluster-wide (hits, misses) sums of the decode LRU counters.
+    def _decode_totals(self) -> tuple[int, int, int]:
+        """Cluster-wide (hits, misses, evictions) decode LRU sums.
 
         Only compressed arenas keep decode counters; shards whose arena
         has not been built yet contribute nothing (and are left unbuilt —
         this must never trigger the uncompressed arena construction).
         """
-        hits = misses = 0
+        hits = misses = evictions = 0
         for shard in self.shards:
             arena = getattr(shard, "_arena", None)
             stats = getattr(arena, "decode_stats", None)
             if stats is not None:
                 hits += stats.hits
                 misses += stats.misses
-        return hits, misses
+                evictions += stats.evictions
+        return hits, misses, evictions
 
-    def prewarm_trace(self, trace: QueryTrace) -> int:
+    def set_decode_cache(self, cache_bytes: int) -> int:
+        """Re-budget every compressed shard's decode LRU to ``cache_bytes``.
+
+        Applies only to shards whose compressed arena already exists —
+        uncompressed shards have no decode cache, and unbuilt arenas are
+        left unbuilt (the same non-forcing contract as
+        :meth:`_decode_totals`).  Oversized caches evict down
+        immediately.  Returns the number of arenas re-budgeted.
+        """
+        touched = 0
+        for shard in self.shards:
+            arena = getattr(shard, "_arena", None)
+            resize = getattr(arena, "set_cache_budget", None)
+            if resize is not None:
+                resize(cache_bytes)
+                touched += 1
+        return touched
+
+    def prewarm_trace(
+        self, trace: QueryTrace, selector: StrategySelector | None = None
+    ) -> int:
         """Fill every shard searcher's memo cache for ``trace``.
 
         All uncached (shard, query) retrieval tasks are pipelined through
         the cluster executor at once — query *i+1* overlaps stragglers of
         query *i* — and deduplicated first, so repeated trace queries cost
-        nothing.  Returns the number of evaluations performed.
+        nothing.  ``selector`` warms the keys adaptive dispatch will ask
+        for instead of the static defaults.  Returns the number of
+        evaluations performed.
         """
-        return prewarm_searchers(self.searcher.searchers, trace, self.executor)
+        return prewarm_searchers(
+            self.searcher.searchers, trace, self.executor, selector
+        )
 
     def searcher_cache_stats(self) -> list[SearcherCacheStats]:
         """Per-shard memo counters (hits / computations / size)."""

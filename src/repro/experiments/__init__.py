@@ -6,7 +6,19 @@ Each ``figNN_*`` module exposes ``run(testbed) -> Result`` and
 ``paper`` holds the paper's reported values.
 """
 
-from repro.experiments import bench_inference, bench_retrieval
+from repro.experiments import (
+    bench_inference,
+    bench_retrieval,
+    bench_selection,
+    oracle_sweep,
+)
 from repro.experiments.testbed import Scale, Testbed
 
-__all__ = ["Scale", "Testbed", "bench_inference", "bench_retrieval"]
+__all__ = [
+    "Scale",
+    "Testbed",
+    "bench_inference",
+    "bench_retrieval",
+    "bench_selection",
+    "oracle_sweep",
+]

@@ -1,0 +1,432 @@
+"""Adaptive-selection ablation: static arms vs learned selector vs oracle.
+
+The benchmark behind ``BENCH_selection.json``.  On one seeded zipf
+workload it:
+
+1. runs the oracle sweep (:mod:`repro.experiments.oracle_sweep`) to get
+   the ground-truth per-(query, shard) service table;
+2. trains the :class:`~repro.predictors.selector.LearnedSelector` from
+   the sweep's winner labels and calibrates its confidence floor on the
+   same workload (threshold grid, lowest mean fan-out wins);
+3. scores three kinds of arm on fan-out latency (per query: max over
+   shards of modeled service) and total scheduled work: each rank-safe
+   **static** strategy, the **learned** selector, and the per-shard
+   **oracle**;
+4. verifies the dispatch contract — for every (query, shard), searching
+   through :class:`~repro.retrieval.searcher.ShardSearcher` with the
+   selector's :class:`~repro.retrieval.searcher.StrategyChoice` is
+   **bit-identical** (result fingerprint) to running the chosen strategy
+   standalone;
+5. replays the workload through the full simulated cluster
+   (``SearchCluster.run_trace``) with and without the selector — the
+   end-to-end ablation including queueing.
+
+Training and evaluation share the workload deliberately: the selector is
+an in-corpus compressed oracle (term statistics are immutable, queries
+recur), so memorization is the intended operating mode — generalization
+to unseen queries is *reported* (``holdout_accuracy``, from a probe model
+trained on an 80% split) but not gated.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.engine import SearchCluster
+from repro.experiments.bench_retrieval import build_corpus, sample_queries
+from repro.experiments.oracle_sweep import (
+    SweepDataset,
+    SweepSummary,
+    summarize,
+    sweep,
+)
+from repro.index.term_stats import TermStatsIndex
+from repro.policies import ExhaustivePolicy
+from repro.predictors.features import TermFeatureCache
+from repro.predictors.selector import SAFE_STRATEGIES, LearnedSelector
+from repro.retrieval.query import Query, QueryTrace
+from repro.retrieval.searcher import STRATEGIES, ShardSearcher, StrategyChoice
+
+N_SHARDS = 16
+DOCS_PER_SHARD = 400
+VOCAB_SIZE = 150
+N_QUERIES = 240
+K = 10
+SEED = 7
+HIDDEN_UNITS = 64
+ITERATIONS = 1200
+HOLDOUT = 0.2
+#: Calibration grid for the confidence floor; 0.0 = trust every argmax.
+CONFIDENCE_GRID: tuple[float, ...] = (0.0, 0.5, 0.7, 0.9)
+#: Trace arrival spacing (s) for the simulated replay — sparse enough
+#: that queueing noise does not drown the traversal-cost signal.
+ARRIVAL_SPACING_S = 0.25
+
+
+@dataclass
+class SelectionArm:
+    """One policy's fan-out latency and scheduled-work accounting."""
+
+    name: str
+    mean_ms: float
+    p99_ms: float
+    total_service_ms: float
+
+    def row(self) -> dict[str, float | str]:
+        return {
+            "name": self.name,
+            "mean_ms": self.mean_ms,
+            "p99_ms": self.p99_ms,
+            "total_service_ms": self.total_service_ms,
+        }
+
+
+@dataclass
+class SimAblation:
+    """One ``run_trace`` replay's client-observed latency."""
+
+    name: str
+    mean_ms: float
+    p99_ms: float
+    strategy_choices: dict[str, int] = field(default_factory=dict)
+
+    def row(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "mean_ms": self.mean_ms,
+            "p99_ms": self.p99_ms,
+            "strategy_choices": self.strategy_choices,
+        }
+
+
+@dataclass
+class SelectionBenchResult:
+    n_queries: int
+    n_shards: int
+    k: int
+    arms: list[SelectionArm]
+    best_static: str
+    confidence: float
+    train_accuracy: float
+    holdout_accuracy: float
+    choice_counts: dict[str, int]
+    bit_identical: bool
+    rank_safe: bool
+    sim: list[SimAblation]
+    train_s: float
+    sweep_s: float
+
+    def arm(self, name: str) -> SelectionArm:
+        for arm in self.arms:
+            if arm.name == name:
+                return arm
+        raise KeyError(name)
+
+    @property
+    def best_static_mean_ms(self) -> float:
+        return self.arm(self.best_static).mean_ms
+
+    @property
+    def learned_mean_ms(self) -> float:
+        return self.arm("learned").mean_ms
+
+    @property
+    def oracle_mean_ms(self) -> float:
+        return self.arm("oracle").mean_ms
+
+    @property
+    def oracle_gap_ms(self) -> float:
+        return self.best_static_mean_ms - self.oracle_mean_ms
+
+    @property
+    def gap_closed_pct(self) -> float:
+        """Share of the static-best-to-oracle gap the learned arm closed."""
+        if self.oracle_gap_ms <= 0:
+            return 0.0
+        return (
+            100.0
+            * (self.best_static_mean_ms - self.learned_mean_ms)
+            / self.oracle_gap_ms
+        )
+
+
+def _fanout_stats(service: np.ndarray) -> tuple[float, float, float]:
+    """``service[NQ, S] -> (mean fan-out, p99 fan-out, total work)``."""
+    fanout = service.max(axis=1)
+    return (
+        float(fanout.mean()),
+        float(np.percentile(fanout, 99)),
+        float(service.sum()),
+    )
+
+
+def holdout_accuracy(
+    dataset: SweepDataset,
+    cache: TermFeatureCache,
+    labels: np.ndarray,
+    holdout: float = HOLDOUT,
+    hidden_units: int = HIDDEN_UNITS,
+    iterations: int = ITERATIONS,
+    seed: int = SEED,
+) -> float:
+    """Unseen-query accuracy of a probe selector trained on a split.
+
+    A *separate* model — the shipped selector trains on the full
+    workload; this one exists only to report how the architecture
+    generalizes beyond memorization.
+    """
+    n = dataset.n_queries
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(int(n * holdout), 1)
+    test, train = order[:n_test], order[n_test:]
+    probe = LearnedSelector(cache, hidden_units=hidden_units, seed=seed + 1)
+    probe.fit(
+        [dataset.term_tuples[i] for i in train],
+        labels[train],
+        iterations=iterations,
+        seed=seed,
+    )
+    predicted = probe.predict_strategies(
+        [dataset.term_tuples[i] for i in test]
+    )
+    return float(np.mean(predicted == labels[test]))
+
+
+def calibrate_confidence(
+    selector: LearnedSelector,
+    dataset: SweepDataset,
+    grid: tuple[float, ...] = CONFIDENCE_GRID,
+) -> float:
+    """Pick the confidence floor with the lowest in-corpus mean fan-out.
+
+    Ties break toward the lower threshold (trust the model more).  The
+    fallback at threshold 1.0+ would reproduce the best static arm
+    exactly, so the calibrated selector can never do worse than the grid
+    allows.
+    """
+    safe = dataset.safe_service_ms()
+    rows = np.arange(dataset.n_queries)[:, None]
+    cols = np.arange(dataset.n_shards)[None, :]
+    best_conf, best_mean = grid[0], float("inf")
+    for conf in grid:
+        selector.confidence = conf
+        picked = selector.predict_strategies(dataset.term_tuples)
+        mean = float(safe[rows, cols, picked].max(axis=1).mean())
+        if mean < best_mean - 1e-12:
+            best_conf, best_mean = conf, mean
+    selector.confidence = best_conf
+    return best_conf
+
+
+def verify_dispatch_identity(
+    shards,
+    dataset: SweepDataset,
+    picked: np.ndarray,
+    k: int,
+) -> bool:
+    """Every selected traversal == running that strategy standalone.
+
+    Dispatches each (query, shard) pick through a fresh
+    :class:`ShardSearcher` carrying the selector's
+    :class:`StrategyChoice`, and compares the result *fingerprint*
+    (hits, scores, tie order, cost counters) against the strategy
+    callable invoked directly — the strict bit-identity the adaptive
+    hook guarantees.
+    """
+    searchers = [ShardSearcher(shard, k=k) for shard in shards]
+    for q_idx, terms in enumerate(dataset.term_tuples):
+        query = Query(query_id=q_idx, terms=terms)
+        for s_idx, searcher in enumerate(searchers):
+            name = SAFE_STRATEGIES[int(picked[q_idx, s_idx])]
+            dispatched = searcher.search(query, StrategyChoice(strategy=name))
+            standalone = STRATEGIES[name](shards[s_idx], list(terms), k)
+            if dispatched.fingerprint() != standalone.fingerprint():
+                return False
+    return True
+
+
+def run(
+    n_shards: int = N_SHARDS,
+    docs_per_shard: int = DOCS_PER_SHARD,
+    vocab_size: int = VOCAB_SIZE,
+    n_queries: int = N_QUERIES,
+    k: int = K,
+    seed: int = SEED,
+    hidden_units: int = HIDDEN_UNITS,
+    iterations: int = ITERATIONS,
+    with_sim: bool = True,
+) -> SelectionBenchResult:
+    shards = build_corpus(n_shards, docs_per_shard, vocab_size, seed)
+    queries = sample_queries(n_queries, vocab_size, seed)
+
+    t0 = time.perf_counter()  # simlint: disable=DET-CLOCK -- benchmark harness wall-clock, never feeds the sim
+    dataset = sweep(shards, queries, k=k)
+    sweep_s = time.perf_counter() - t0  # simlint: disable=DET-CLOCK -- benchmark harness wall-clock, never feeds the sim
+    summary: SweepSummary = summarize(dataset)
+    labels = dataset.labels()
+
+    cache = TermFeatureCache([TermStatsIndex(s, k=k) for s in shards])
+    selector = LearnedSelector(
+        cache,
+        hidden_units=hidden_units,
+        seed=seed,
+        fallback_strategy=summary.best_static,
+    )
+    t0 = time.perf_counter()  # simlint: disable=DET-CLOCK -- benchmark harness wall-clock, never feeds the sim
+    train_accs = selector.fit(
+        dataset.term_tuples, labels, iterations=iterations, seed=seed
+    )
+    train_s = time.perf_counter() - t0  # simlint: disable=DET-CLOCK -- benchmark harness wall-clock, never feeds the sim
+    confidence = calibrate_confidence(selector, dataset)
+    generalization = holdout_accuracy(
+        dataset, cache, labels,
+        hidden_units=hidden_units, iterations=iterations, seed=seed,
+    )
+
+    safe = dataset.safe_service_ms()
+    rows = np.arange(dataset.n_queries)[:, None]
+    cols = np.arange(dataset.n_shards)[None, :]
+    picked = selector.predict_strategies(dataset.term_tuples)
+
+    arms = []
+    for a_idx, name in enumerate(SAFE_STRATEGIES):
+        mean, p99, total = _fanout_stats(safe[:, :, a_idx])
+        arms.append(SelectionArm(name, mean, p99, total))
+    mean, p99, total = _fanout_stats(safe[rows, cols, picked])
+    arms.append(SelectionArm("learned", mean, p99, total))
+    mean, p99, total = _fanout_stats(safe.min(axis=2))
+    arms.append(SelectionArm("oracle", mean, p99, total))
+
+    choice_counts = {
+        name: int(np.sum(picked == a_idx))
+        for a_idx, name in enumerate(SAFE_STRATEGIES)
+    }
+    bit_identical = verify_dispatch_identity(shards, dataset, picked, k)
+
+    sim: list[SimAblation] = []
+    if with_sim:
+        trace = QueryTrace(
+            "selection",
+            [
+                Query(
+                    query_id=i,
+                    terms=terms,
+                    arrival_time=i * ARRIVAL_SPACING_S,
+                )
+                for i, terms in enumerate(dataset.term_tuples)
+            ],
+        )
+        cluster = SearchCluster(shards, k=k, strategy=summary.best_static)
+        for name, sel in (("static_best", None), ("learned", selector)):
+            result = cluster.run_trace(trace, ExhaustivePolicy(), selector=sel)
+            latencies = np.array(result.latencies_ms())
+            sim.append(
+                SimAblation(
+                    name=name,
+                    mean_ms=float(latencies.mean()),
+                    p99_ms=float(np.percentile(latencies, 99)),
+                    strategy_choices=dict(result.strategy_choices),
+                )
+            )
+
+    return SelectionBenchResult(
+        n_queries=dataset.n_queries,
+        n_shards=n_shards,
+        k=k,
+        arms=arms,
+        best_static=summary.best_static,
+        confidence=confidence,
+        train_accuracy=float(np.mean(train_accs)),
+        holdout_accuracy=generalization,
+        choice_counts=choice_counts,
+        bit_identical=bit_identical,
+        rank_safe=dataset.rank_safe,
+        sim=sim,
+        train_s=train_s,
+        sweep_s=sweep_s,
+    )
+
+
+def format_report(result: SelectionBenchResult) -> str:
+    lines = [
+        "adaptive traversal selection "
+        f"({result.n_queries} queries x {result.n_shards} shards, "
+        f"k={result.k})",
+        f"{'arm':<16} {'mean_ms':>9} {'p99_ms':>9} {'total_work_ms':>14}",
+        "-" * 52,
+    ]
+    for arm in result.arms:
+        marker = ""
+        if arm.name == result.best_static:
+            marker = " (best static)"
+        lines.append(
+            f"{arm.name:<16} {arm.mean_ms:>9.2f} {arm.p99_ms:>9.2f} "
+            f"{arm.total_service_ms:>14.0f}{marker}"
+        )
+    lines.append(
+        f"learned closes {result.gap_closed_pct:.1f}% of the "
+        f"{result.oracle_gap_ms:.2f} ms static-to-oracle gap "
+        f"(confidence floor {result.confidence:.2f})"
+    )
+    lines.append(
+        f"selector accuracy: train {100 * result.train_accuracy:.1f}%  "
+        f"holdout {100 * result.holdout_accuracy:.1f}% (reported, not gated)"
+    )
+    picks = ", ".join(
+        f"{name}={count}" for name, count in result.choice_counts.items()
+    )
+    lines.append(f"per-(query, shard) picks: {picks}")
+    lines.append(
+        "dispatch bit-identical to standalone strategy runs: "
+        f"{'yes' if result.bit_identical else 'NO'}"
+    )
+    lines.append(
+        "rank-safe arms agree on top-k: "
+        f"{'yes' if result.rank_safe else 'NO'}"
+    )
+    for ablation in result.sim:
+        choices = (
+            "  choices " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(ablation.strategy_choices.items())
+            )
+            if ablation.strategy_choices
+            else ""
+        )
+        lines.append(
+            f"sim {ablation.name:<12} mean {ablation.mean_ms:>8.2f} ms  "
+            f"p99 {ablation.p99_ms:>8.2f} ms{choices}"
+        )
+    return "\n".join(lines)
+
+
+def write_json(result: SelectionBenchResult, path: str | Path) -> None:
+    payload = {
+        "n_queries": result.n_queries,
+        "n_shards": result.n_shards,
+        "k": result.k,
+        "arms": [arm.row() for arm in result.arms],
+        "best_static": result.best_static,
+        "best_static_mean_ms": result.best_static_mean_ms,
+        "learned_mean_ms": result.learned_mean_ms,
+        "oracle_mean_ms": result.oracle_mean_ms,
+        "oracle_gap_ms": result.oracle_gap_ms,
+        "gap_closed_pct": result.gap_closed_pct,
+        "confidence": result.confidence,
+        "train_accuracy": result.train_accuracy,
+        "holdout_accuracy": result.holdout_accuracy,
+        "choice_counts": result.choice_counts,
+        "bit_identical": result.bit_identical,
+        "rank_safe": result.rank_safe,
+        "sim": [ablation.row() for ablation in result.sim],
+        "sweep_s": result.sweep_s,
+        "train_s": result.train_s,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)

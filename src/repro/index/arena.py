@@ -280,6 +280,7 @@ class DecodeStats:
     misses: int
     entries: int
     bytes: int
+    evictions: int = 0
 
 
 _SCORE_RAW = 0
@@ -324,7 +325,7 @@ class CompressedPostingsArena:
         "score_words", "score_word_offsets",
         "upper_bounds", "block_maxes", "block_offsets", "block_size",
         "_term_ids", "_cache", "_cache_bytes", "_cache_budget",
-        "_lock", "_hits", "_misses",
+        "_lock", "_hits", "_misses", "_evictions",
     )
 
     def __init__(
@@ -382,6 +383,7 @@ class CompressedPostingsArena:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------ build
     @classmethod
@@ -562,7 +564,23 @@ class CompressedPostingsArena:
                 while self._cache_bytes > self._cache_budget and len(self._cache) > 1:
                     _, evicted = self._cache.popitem(last=False)
                     self._cache_bytes -= evicted[3]
+                    self._evictions += 1
         return doc_ids, tfs, scores
+
+    def set_cache_budget(self, cache_bytes: int) -> None:
+        """Re-size the decode LRU in place (evicting down if shrunk).
+
+        At least one entry always survives — the same floor the insert
+        path keeps, so a budget smaller than any single column degrades
+        to "cache exactly the last decoded term", never to thrashing on
+        the entry being returned.
+        """
+        with self._lock:
+            self._cache_budget = max(int(cache_bytes), 0)
+            while self._cache_bytes > self._cache_budget and len(self._cache) > 1:
+                _, evicted = self._cache.popitem(last=False)
+                self._cache_bytes -= evicted[3]
+                self._evictions += 1
 
     @property
     def decode_stats(self) -> DecodeStats:
@@ -572,6 +590,7 @@ class CompressedPostingsArena:
                 misses=self._misses,
                 entries=len(self._cache),
                 bytes=self._cache_bytes,
+                evictions=self._evictions,
             )
 
     # ------------------------------------------------------------ query

@@ -1,0 +1,362 @@
+"""The learned per-(query, shard) traversal-strategy selector.
+
+Rank-safe traversal strategies (MaxScore, WAND, Block-Max WAND) return
+the same top-k ranking (scores equal up to float-summation order, the
+repo's strategy-equivalence contract) but their pruning effectiveness — and therefore
+their :class:`~repro.retrieval.result.CostStats` and simulated service
+time — diverges per query: queries dominated by one heavy term favour
+MaxScore's essential-list split, while queries whose term upper bounds
+are well separated favour the WAND family's pivot skipping.  The oracle
+sweep (:mod:`repro.experiments.oracle_sweep`) measures that divergence
+exhaustively; this module learns to predict the per-(query, shard) winner
+from the concatenated Table-I and Table-II feature matrices the quality
+and latency predictors consume.
+
+One small per-shard MLP classifies each query into one of
+:data:`SAFE_STRATEGIES`.  All shard models fuse into a single
+:class:`~repro.nn.model.StackedSequential` mirroring
+:class:`~repro.predictors.fused.FusedQualityModels`, so a whole trace's
+choices come out of one batched matmul chain instead of a per-query
+python loop.  Because every candidate is rank-safe, a wrong prediction
+costs only time, never result quality — the selector is free to be cheap
+and slightly wrong.
+
+The selector implements the
+:class:`~repro.retrieval.searcher.StrategySelector` protocol.  When the
+dispatching policy hands it a time budget below ``downshift_budget_ms``
+it abandons rank-safety and returns the conjunctive (AND) strategy — the
+paper's quality-for-latency trade taken per query rather than per
+cluster, with the unsafe arm confined to queries that could not meet
+their budget anyway.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.losses import softmax
+from repro.nn.model import Sequential, StackedSequential, mlp_classifier
+from repro.nn.optimizers import Adam
+from repro.nn.scaler import StandardScaler
+from repro.predictors.features import (
+    LATENCY_FEATURE_NAMES,
+    QUALITY_FEATURE_NAMES,
+    TermFeatureCache,
+    trace_feature_tensors,
+)
+from repro.predictors.fused import _shard_major
+from repro.retrieval.query import Query
+from repro.retrieval.searcher import StrategyChoice
+
+# The rank-safe selection space: every member returns the exhaustive
+# top-k ranking (scores equal up to float-summation order), so switching
+# between them is invisible to result quality.  Conjunctive is
+# deliberately NOT in this tuple — it changes results and is reachable
+# only through the explicit budget downshift.
+SAFE_STRATEGIES: tuple[str, ...] = ("maxscore", "wand", "block_max_wand")
+
+#: Selector input width: the Table-I quality matrix and the Table-II
+#: latency matrix, concatenated per shard.  The latency columns carry
+#: most of the winner signal — strategy cost divergence tracks posting
+#: list shape, exactly what Table II encodes.
+N_SELECTOR_FEATURES = len(QUALITY_FEATURE_NAMES) + len(LATENCY_FEATURE_NAMES)
+
+_FORMAT_VERSION = 1
+
+
+def selector_feature_tensor(
+    term_tuples: list[tuple[str, ...]], cache: TermFeatureCache
+) -> np.ndarray:
+    """``[NQ, S, 25]`` — Table-I ++ Table-II features for many queries."""
+    quality_t, latency_t = trace_feature_tensors(term_tuples, cache)
+    return np.concatenate([quality_t, latency_t], axis=2)
+
+
+class _ShardStrategyModel:
+    """StandardScaler + small MLP over one shard's Table-I+II features."""
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden_layers: int,
+        hidden_units: int,
+        seed: int,
+    ) -> None:
+        self.scaler = StandardScaler()
+        self.model: Sequential = mlp_classifier(
+            n_features=n_features,
+            n_classes=len(SAFE_STRATEGIES),
+            hidden_layers=hidden_layers,
+            hidden_units=hidden_units,
+            seed=seed,
+        )
+
+    def state(self) -> dict[str, np.ndarray]:
+        state = {f"model.{k}": v for k, v in self.model.state().items()}
+        state["scaler.mean"] = self.scaler.mean_
+        state["scaler.std"] = self.scaler.std_
+        return state
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        self.model.load_state(
+            {k[len("model."):]: v for k, v in state.items() if k.startswith("model.")}
+        )
+        self.scaler.mean_ = np.asarray(state["scaler.mean"], dtype=np.float64)
+        self.scaler.std_ = np.asarray(state["scaler.std"], dtype=np.float64)
+
+
+class LearnedSelector:
+    """Per-shard learned traversal picker with a fused batch path.
+
+    Implements :class:`~repro.retrieval.searcher.StrategySelector`.
+    Choices are memoized per distinct term tuple (term statistics are
+    immutable), so trace replays and replica races see identical picks.
+
+    ``confidence`` is a softmax-probability floor: predictions below it
+    fall back to ``fallback_strategy`` (the sweep's best single static
+    strategy), bounding how badly an under-trained model can regress the
+    cluster against the static baseline.
+    """
+
+    name = "learned"
+
+    def __init__(
+        self,
+        feature_cache: TermFeatureCache,
+        hidden_layers: int = 2,
+        hidden_units: int = 32,
+        seed: int = 0,
+        confidence: float = 0.0,
+        fallback_strategy: str = "maxscore",
+        downshift_budget_ms: float | None = None,
+        downshift_strategy: str = "conjunctive",
+    ) -> None:
+        if fallback_strategy not in SAFE_STRATEGIES:
+            raise ValueError(
+                f"fallback must be rank-safe, one of {SAFE_STRATEGIES}"
+            )
+        self.feature_cache = feature_cache
+        self.hidden_layers = hidden_layers
+        self.hidden_units = hidden_units
+        self.confidence = confidence
+        self.fallback_strategy = fallback_strategy
+        self.downshift_budget_ms = downshift_budget_ms
+        self.downshift_strategy = downshift_strategy
+        self.models = [
+            _ShardStrategyModel(
+                N_SELECTOR_FEATURES, hidden_layers, hidden_units, seed + sid
+            )
+            for sid in range(feature_cache.n_shards)
+        ]
+        self.trained = False
+        self._stack: StackedSequential | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        # terms -> one rank-safe StrategyChoice per shard.  Tuples on
+        # purpose: every caller shares the same immutable row.
+        self._choice_cache: dict[tuple[str, ...], tuple[StrategyChoice, ...]] = {}
+        self._downshift_choice = StrategyChoice(strategy=downshift_strategy)
+        self.downshifts = 0
+
+    @property
+    def n_shards(self) -> int:
+        return self.feature_cache.n_shards
+
+    # ------------------------------------------------------------- training
+    def fit(
+        self,
+        term_tuples: list[tuple[str, ...]],
+        labels: np.ndarray,
+        iterations: int = 300,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+    ) -> list[float]:
+        """Train every shard model from oracle-sweep winner labels.
+
+        ``labels[NQ, S]`` holds indices into :data:`SAFE_STRATEGIES` —
+        the per-(query, shard) cheapest rank-safe strategy the sweep
+        measured.  Returns per-shard training-set accuracy.
+        """
+        labels = np.asarray(labels)
+        if labels.shape != (len(term_tuples), self.n_shards):
+            raise ValueError(
+                f"labels must be [n_queries={len(term_tuples)}, "
+                f"n_shards={self.n_shards}], got {labels.shape}"
+            )
+        features = selector_feature_tensor(term_tuples, self.feature_cache)
+        accuracies = []
+        for sid, shard_model in enumerate(self.models):
+            x = shard_model.scaler.fit_transform(features[:, sid, :])
+            y = labels[:, sid]
+            shard_model.model.fit(
+                x, y,
+                iterations=iterations,
+                batch_size=batch_size,
+                optimizer=Adam(learning_rate=learning_rate),
+                seed=seed + sid,
+            )
+            predicted = shard_model.model.predict_classes(x)
+            accuracies.append(float(np.mean(predicted == y)))
+        self.trained = True
+        self._stack = None
+        self._mean = None
+        self._std = None
+        self._choice_cache.clear()
+        return accuracies
+
+    # ------------------------------------------------------------- inference
+    def _fused(self) -> tuple[StackedSequential, np.ndarray, np.ndarray]:
+        if not self.trained:
+            raise RuntimeError("selector has not been trained")
+        if self._stack is None:
+            self._stack = StackedSequential.from_models(
+                [m.model for m in self.models]
+            )
+            self._mean = np.stack([m.scaler.mean_ for m in self.models])[:, None, :]
+            self._std = np.stack([m.scaler.std_ for m in self.models])[:, None, :]
+        assert self._mean is not None and self._std is not None
+        return self._stack, self._mean, self._std
+
+    def predict_strategies(self, term_tuples: list[tuple[str, ...]]) -> np.ndarray:
+        """Predicted strategy indices for many queries: ``[NQ, S]``.
+
+        One fused forward pass over the stacked shard models (the
+        :class:`~repro.predictors.fused.FusedQualityModels` layout); low
+        confidence rows are replaced by the fallback strategy's index.
+        """
+        stack, mean, std = self._fused()
+        features = selector_feature_tensor(term_tuples, self.feature_cache)
+        x = _shard_major(features, mean, std)
+        probs = softmax(stack.forward_batched(x))[:, :, 0, :]  # [S, NQ, 3]
+        picked = np.argmax(probs, axis=-1)  # [S, NQ]
+        if self.confidence > 0.0:
+            top = np.max(probs, axis=-1)
+            picked = np.where(
+                top >= self.confidence,
+                picked,
+                SAFE_STRATEGIES.index(self.fallback_strategy),
+            )
+        return picked.T
+
+    def _choices_for(self, terms: tuple[str, ...]) -> tuple[StrategyChoice, ...]:
+        cached = self._choice_cache.get(terms)
+        if cached is not None:
+            return cached
+        self._predict_missing([terms])
+        return self._choice_cache[terms]
+
+    def _predict_missing(self, missing: list[tuple[str, ...]]) -> None:
+        picked = self.predict_strategies(missing)
+        for terms, row in zip(missing, picked.tolist()):
+            self._choice_cache[terms] = tuple(
+                StrategyChoice(strategy=SAFE_STRATEGIES[idx]) for idx in row
+            )
+
+    def choose(
+        self, query: Query, shard_id: int, budget_ms: float | None
+    ) -> StrategyChoice | None:
+        """The dispatch hook: one shard's traversal pick for one query.
+
+        A budget below ``downshift_budget_ms`` overrides the learned
+        rank-safe pick with the conjunctive downshift.  Prewarm passes
+        ``budget_ms=None`` (the policy has not run yet) and therefore
+        always sees — and caches — the rank-safe choice; a later
+        downshifted dispatch evaluates lazily against the memoized
+        retrieval layer, so outcomes never depend on prewarm order.
+        """
+        if (
+            budget_ms is not None
+            and self.downshift_budget_ms is not None
+            and budget_ms < self.downshift_budget_ms
+        ):
+            self.downshifts += 1
+            return self._downshift_choice
+        return self._choices_for(query.terms)[shard_id]
+
+    def prewarm(self, queries: list[Query]) -> int:
+        """Batch-fill the choice cache for a trace; returns new entries.
+
+        Called by the serving orchestrator before retrieval prewarm so
+        the retrieval plan reflects the selector's picks.  Purely a
+        wall-clock optimization — choices are memoized pure functions.
+        """
+        missing = list(
+            dict.fromkeys(
+                q.terms for q in queries if q.terms not in self._choice_cache
+            )
+        )
+        if missing:
+            self._predict_missing(missing)
+        return len(missing)
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path: str | Path) -> None:
+        """Write every trained shard model to one ``.npz`` file."""
+        if not self.trained:
+            raise RuntimeError("cannot save an untrained selector")
+        arrays: dict[str, np.ndarray] = {}
+        for sid, shard_model in enumerate(self.models):
+            for key, value in shard_model.state().items():
+                arrays[f"shard{sid}.{key}"] = value
+        meta = {
+            "n_shards": self.n_shards,
+            "n_features": N_SELECTOR_FEATURES,
+            "hidden_layers": self.hidden_layers,
+            "hidden_units": self.hidden_units,
+            "strategies": list(SAFE_STRATEGIES),
+            "confidence": self.confidence,
+            "fallback_strategy": self.fallback_strategy,
+            "format_version": _FORMAT_VERSION,
+        }
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        feature_cache: TermFeatureCache,
+        downshift_budget_ms: float | None = None,
+    ) -> "LearnedSelector":
+        """Reconstruct a trained selector saved by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            if meta.get("format_version") != _FORMAT_VERSION:
+                raise ValueError(f"unsupported selector format in {path}")
+            if meta.get("n_features", N_SELECTOR_FEATURES) != N_SELECTOR_FEATURES:
+                raise ValueError(
+                    f"selector was trained on {meta['n_features']} features, "
+                    f"this build extracts {N_SELECTOR_FEATURES}"
+                )
+            if tuple(meta["strategies"]) != SAFE_STRATEGIES:
+                raise ValueError(
+                    f"selector was trained over {meta['strategies']}, this "
+                    f"build knows {list(SAFE_STRATEGIES)}"
+                )
+            if meta["n_shards"] != feature_cache.n_shards:
+                raise ValueError(
+                    f"selector was trained on {meta['n_shards']} shards, "
+                    f"cluster has {feature_cache.n_shards}"
+                )
+            selector = cls(
+                feature_cache,
+                hidden_layers=int(meta["hidden_layers"]),
+                hidden_units=int(meta["hidden_units"]),
+                confidence=float(meta["confidence"]),
+                fallback_strategy=str(meta["fallback_strategy"]),
+                downshift_budget_ms=downshift_budget_ms,
+            )
+            states: dict[int, dict[str, np.ndarray]] = {}
+            for key in data.files:
+                if key == "meta":
+                    continue
+                prefix, rest = key.split(".", 1)
+                states.setdefault(int(prefix[len("shard"):]), {})[rest] = data[key]
+            for sid, shard_model in enumerate(selector.models):
+                shard_model.load_state(states[sid])
+        selector.trained = True
+        return selector

@@ -64,7 +64,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.index.shard import IndexShard
     from repro.retrieval.query import Query
     from repro.retrieval.result import SearchResult
-    from repro.retrieval.searcher import ShardSearcher
+    from repro.retrieval.searcher import (
+        ShardSearcher,
+        StrategyChoice,
+        StrategySelector,
+    )
     from repro.telemetry import Telemetry
     from repro.telemetry.trace import Tracer
 
@@ -521,6 +525,7 @@ class ProcessExecutor(ShardExecutor):
 def plan_prewarm(
     searchers: Sequence["ShardSearcher"],
     queries: Iterable["Query"],
+    selector: "StrategySelector | None" = None,
 ) -> list[Callable[[], object]]:
     """Deduplicated retrieval closures covering ``queries`` on ``searchers``.
 
@@ -528,16 +533,27 @@ def plan_prewarm(
     tasks only touch the searchers' memo caches through ``search``, so
     running them through any executor leaves behavior unchanged — replay
     afterwards is pure cache hits.
+
+    ``selector`` warms the keys an adaptive dispatcher will ask for
+    (consulted with no budget, the only view that exists before the
+    policy runs); replay under a *budget-sensitive* selector may still
+    downshift some queries, which then compute lazily at dispatch —
+    retrieval is pure and memoized, so that never changes an outcome.
     """
     seen: set[tuple[int, object]] = set()
     tasks: list[Callable[[], object]] = []
     for query in queries:
         for searcher in searchers:
-            key = (id(searcher), searcher.cache_key(query))
-            if key in seen or searcher.is_cached(query):
+            choice = (
+                selector.choose(query, searcher.shard.shard_id, None)
+                if selector is not None
+                else None
+            )
+            key = (id(searcher), searcher.cache_key(query, choice))
+            if key in seen or searcher.is_cached(query, choice):
                 continue
             seen.add(key)
-            tasks.append(lambda s=searcher, q=query: s.search(q))
+            tasks.append(lambda s=searcher, q=query, c=choice: s.search(q, c))
     return tasks
 
 
@@ -545,33 +561,43 @@ def plan_prewarm_remote(
     searchers: Sequence["ShardSearcher"],
     queries: Iterable["Query"],
     executor: "ProcessExecutor",
-) -> tuple[list[ShardSearchTask], list[tuple["ShardSearcher", "Query"]]]:
+    selector: "StrategySelector | None" = None,
+) -> tuple[
+    list[ShardSearchTask],
+    list[tuple["ShardSearcher", "Query", "StrategyChoice | None"]],
+]:
     """The remote analogue of :func:`plan_prewarm`.
 
     Returns parallel lists: picklable tasks for the process pool, and the
-    (searcher, query) pair each result must be seeded back into.  The
-    dedup rule is identical to the closure planner, so the set of
-    computed keys — and therefore the replayed run — matches the thread
-    path exactly.
+    (searcher, query, choice) triple each result must be seeded back
+    into.  The dedup rule is identical to the closure planner, so the set
+    of computed keys — and therefore the replayed run — matches the
+    thread path exactly.
     """
     seen: set[tuple[int, object]] = set()
     tasks: list[ShardSearchTask] = []
-    seeds: list[tuple["ShardSearcher", "Query"]] = []
+    seeds: list[tuple["ShardSearcher", "Query", "StrategyChoice | None"]] = []
     for query in queries:
         for searcher in searchers:
-            key = (id(searcher), searcher.cache_key(query))
-            if key in seen or searcher.is_cached(query):
+            choice = (
+                selector.choose(query, searcher.shard.shard_id, None)
+                if selector is not None
+                else None
+            )
+            cache_key = searcher.cache_key(query, choice)
+            key = (id(searcher), cache_key)
+            if key in seen or searcher.is_cached(query, choice):
                 continue
             seen.add(key)
             tasks.append(
                 ShardSearchTask(
                     spec=executor.spec_for(searcher.shard),
                     terms=query.terms,
-                    k=searcher.k,
-                    strategy=searcher.strategy,
+                    k=cache_key[1],
+                    strategy=cache_key[2],
                 )
             )
-            seeds.append((searcher, query))
+            seeds.append((searcher, query, choice))
     return tasks, seeds
 
 
@@ -579,6 +605,7 @@ def prewarm_searchers(
     searchers: Sequence["ShardSearcher"],
     queries: Iterable["Query"],
     executor: ShardExecutor,
+    selector: "StrategySelector | None" = None,
 ) -> int:
     """Run the prewarm plan on an existing executor; return the task count.
 
@@ -587,12 +614,12 @@ def prewarm_searchers(
     cache hits either way.
     """
     if executor.remote:
-        tasks, seeds = plan_prewarm_remote(searchers, queries, executor)  # type: ignore[arg-type]
+        tasks, seeds = plan_prewarm_remote(searchers, queries, executor, selector)  # type: ignore[arg-type]
         results = executor.map(tasks)
-        for (searcher, query), result in zip(seeds, results):
-            searcher.seed(query, result)
+        for (searcher, query, choice), result in zip(seeds, results):
+            searcher.seed(query, result, choice)
         return len(tasks)
-    tasks = plan_prewarm(searchers, queries)
+    tasks = plan_prewarm(searchers, queries, selector)
     executor.map(tasks)
     return len(tasks)
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.index.shard import IndexShard
 from repro.retrieval.block_max_wand import block_max_wand_search
@@ -56,6 +56,78 @@ KERNEL_STRATEGIES = frozenset(
 )
 
 CacheKey = tuple[tuple[str, ...], int, str]
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """One dispatch decision: which traversal to run for one (query, shard).
+
+    ``None`` fields fall back to the searcher's configured default, so
+    ``StrategyChoice("wand")`` only swaps the strategy and
+    ``StrategyChoice("maxscore", min_postings=0)`` forces the vectorized
+    MaxScore kernel regardless of posting count.  ``min_postings`` is the
+    kernel's scalar-dispatch floor: both sides of that floor are
+    bit-identical by contract, so it deliberately does **not** enter the
+    memo cache key — only ``strategy`` and ``k`` can change observable
+    results.
+    """
+
+    strategy: str | None = None
+    k: int | None = None
+    min_postings: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.strategy is not None and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; options: {sorted(STRATEGIES)}"
+            )
+        if self.k is not None and self.k < 1:
+            raise ValueError("k override must be positive")
+        if self.min_postings is not None and self.min_postings < 0:
+            raise ValueError("min_postings override must be non-negative")
+
+
+@runtime_checkable
+class StrategySelector(Protocol):
+    """Per-(query, shard) traversal selection — the adaptive dispatch hook.
+
+    ``choose`` runs at aggregator dispatch time, *after* the selection
+    policy decided the query's time budget, so a budget-aware selector
+    can downshift to a cheaper traversal when the budget is tight.
+    ``budget_ms`` is ``None`` for unbudgeted policies (and during
+    prewarming, where no budget exists yet).  Returning ``None`` keeps
+    the searcher's static default — an always-``None`` selector is
+    bit-identical to running without one.
+
+    Implementations must be **pure and deterministic** per
+    ``(query.terms, shard_id, budget_ms)``: the same inputs must yield
+    the same choice on every call (the memo caches and the replica plane
+    both rely on it).
+    """
+
+    name: str
+
+    def choose(
+        self, query: Query, shard_id: int, budget_ms: float | None
+    ) -> StrategyChoice | None:
+        ...
+
+
+@dataclass(frozen=True)
+class FixedSelector:
+    """Selects one fixed :class:`StrategyChoice` for every (query, shard).
+
+    The simplest selector — used to force a single strategy through the
+    full dispatch path (benchmarks' static arms, bit-identity tests).
+    """
+
+    choice: StrategyChoice
+    name: str = "fixed"
+
+    def choose(
+        self, query: Query, shard_id: int, budget_ms: float | None
+    ) -> StrategyChoice | None:
+        return self.choice
 
 
 @dataclass(frozen=True)
@@ -152,11 +224,17 @@ class ShardSearcher:
             self._tracer = None
             self._m_chunks = self._m_offers = self._m_restarts = None
 
-    def cache_key(self, query: Query) -> CacheKey:
-        return (query.terms, self.k, self.strategy)
+    def cache_key(self, query: Query, choice: StrategyChoice | None = None) -> CacheKey:
+        if choice is None:
+            return (query.terms, self.k, self.strategy)
+        return (
+            query.terms,
+            choice.k if choice.k is not None else self.k,
+            choice.strategy if choice.strategy is not None else self.strategy,
+        )
 
-    def is_cached(self, query: Query) -> bool:
-        return self.cache_key(query) in self._cache
+    def is_cached(self, query: Query, choice: StrategyChoice | None = None) -> bool:
+        return self.cache_key(query, choice) in self._cache
 
     @property
     def cache_stats(self) -> SearcherCacheStats:
@@ -166,8 +244,15 @@ class ShardSearcher:
             size=len(self._cache),
         )
 
-    def search(self, query: Query) -> SearchResult:
-        key = self.cache_key(query)
+    def search(self, query: Query, choice: StrategyChoice | None = None) -> SearchResult:
+        """Evaluate ``query``, optionally under a per-call dispatch ``choice``.
+
+        ``choice`` overrides strategy/k for this call only (the memo key
+        follows, so an overridden call can never collide with the default
+        key) — the hook adaptive selectors dispatch through.  ``None`` is
+        byte-for-byte the static path.
+        """
+        key = self.cache_key(query, choice)
         cached = self._cache.get(key)  # lock-free hot path
         if cached is not None:
             self._hits += 1
@@ -187,7 +272,7 @@ class ShardSearcher:
             return pending.wait()
         strategy = STRATEGIES[key[2]]
         try:
-            result = self._evaluate(strategy, key, query)
+            result = self._evaluate(strategy, key, query, choice)
         except BaseException as exc:
             pending.publish(None, exc)
             with self._lock:
@@ -207,16 +292,27 @@ class ShardSearcher:
         strategy: Callable[[IndexShard, list[str], int], SearchResult],
         key: CacheKey,
         query: Query,
+        choice: StrategyChoice | None = None,
     ) -> SearchResult:
         """Run the strategy, recording kernel telemetry when bound.
 
         Kernel executions get a ``retrieval.kernel`` span on the shard's
         ``retrieval.<id>`` track plus chunk/offer/restart counters;
         everything is skipped (one attribute test) when telemetry is off.
+        A ``choice`` carrying ``min_postings`` forwards it to the MaxScore
+        kernel (the only strategy with a scalar-dispatch floor); both
+        sides of the floor are bit-identical, so the memo key ignores it.
         """
+        extra: dict[str, int] = {}
+        if (
+            choice is not None
+            and choice.min_postings is not None
+            and key[2] == "maxscore"
+        ):
+            extra["min_postings"] = choice.min_postings
         tracer = self._tracer
         if tracer is None or key[2] not in KERNEL_STRATEGIES:
-            return strategy(self.shard, list(query.terms), key[1])
+            return strategy(self.shard, list(query.terms), key[1], **extra)
         kstats = KernelStats()
         if threading.get_ident() == self._telemetry_thread:
             with tracer.span(
@@ -225,12 +321,14 @@ class ShardSearcher:
                 strategy=key[2], k=key[1], n_terms=len(query.terms),
             ) as span:
                 result = strategy(
-                    self.shard, list(query.terms), key[1], stats=kstats
+                    self.shard, list(query.terms), key[1], stats=kstats, **extra
                 )
                 span.attrs["chunks"] = kstats.chunks
                 span.attrs["offers"] = kstats.offers
         else:
-            result = strategy(self.shard, list(query.terms), key[1], stats=kstats)
+            result = strategy(
+                self.shard, list(query.terms), key[1], stats=kstats, **extra
+            )
         # The counters are bound iff the tracer is (see bind_telemetry).
         assert (
             self._m_chunks is not None
@@ -242,7 +340,12 @@ class ShardSearcher:
         self._m_restarts.add(kstats.threshold_restarts)
         return result
 
-    def seed(self, query: Query, result: SearchResult) -> None:
+    def seed(
+        self,
+        query: Query,
+        result: SearchResult,
+        choice: StrategyChoice | None = None,
+    ) -> None:
         """Install an externally computed result under ``query``'s key.
 
         Used by remote executors: a worker process ran the search against
@@ -252,7 +355,7 @@ class ShardSearcher:
         cache-stat totals match the local execution paths.  First write
         wins, same as the memo contract.
         """
-        key = self.cache_key(query)
+        key = self.cache_key(query, choice)
         with self._lock:
             if key not in self._cache:
                 self._cache[key] = result
@@ -293,10 +396,17 @@ class DistributedSearcher:
         for searcher in self.searchers:
             searcher.bind_telemetry(telemetry)
 
-    def search_shard(self, shard_id: int, query: Query) -> SearchResult:
-        return self.searchers[shard_id].search(query)
+    def search_shard(
+        self, shard_id: int, query: Query, choice: StrategyChoice | None = None
+    ) -> SearchResult:
+        return self.searchers[shard_id].search(query, choice)
 
-    def search(self, query: Query, shard_ids: list[int] | None = None) -> SearchResult:
+    def search(
+        self,
+        query: Query,
+        shard_ids: list[int] | None = None,
+        selector: StrategySelector | None = None,
+    ) -> SearchResult:
         """Search a subset of shards (default: all) and merge.
 
         With a remote executor the fan-out ships picklable
@@ -304,17 +414,33 @@ class DistributedSearcher:
         attach the shards via mmap/shared memory and the parent seeds the
         results into its memo caches, so repeats are local cache hits and
         the merged result is bit-identical to every local backend.
+
+        ``selector`` picks a per-shard :class:`StrategyChoice` (consulted
+        with no budget — this is the timing-free view); ``None`` is the
+        static default on every shard.
         """
         if shard_ids is None:
             shard_ids = list(range(self.n_shards))
+        choices: dict[int, StrategyChoice | None] = {
+            sid: selector.choose(query, sid, None) if selector is not None else None
+            for sid in shard_ids
+        }
         if self.executor.remote:
-            return self._search_remote(query, shard_ids)
+            return self._search_remote(query, shard_ids, choices)
         per_shard = self.executor.map(
-            [lambda s=self.searchers[sid]: s.search(query) for sid in shard_ids]
+            [
+                lambda s=self.searchers[sid], c=choices[sid]: s.search(query, c)
+                for sid in shard_ids
+            ]
         )
         return merge_results(per_shard, self.k)
 
-    def _search_remote(self, query: Query, shard_ids: list[int]) -> SearchResult:
+    def _search_remote(
+        self,
+        query: Query,
+        shard_ids: list[int],
+        choices: dict[int, StrategyChoice | None],
+    ) -> SearchResult:
         from repro.retrieval.executor import ShardSearchTask
 
         per_shard: list[SearchResult | None] = [None] * len(shard_ids)
@@ -322,25 +448,29 @@ class DistributedSearcher:
         misses: list[int] = []
         for position, sid in enumerate(shard_ids):
             searcher = self.searchers[sid]
-            if searcher.is_cached(query):
-                per_shard[position] = searcher.search(query)
+            choice = choices.get(sid)
+            if searcher.is_cached(query, choice):
+                per_shard[position] = searcher.search(query, choice)
                 continue
+            key = searcher.cache_key(query, choice)
             tasks.append(
                 ShardSearchTask(
                     spec=self.executor.spec_for(searcher.shard),  # type: ignore[attr-defined]
                     terms=query.terms,
-                    k=searcher.k,
-                    strategy=searcher.strategy,
+                    k=key[1],
+                    strategy=key[2],
                 )
             )
             misses.append(position)
         if tasks:
             for position, result in zip(misses, self.executor.map(tasks)):
-                searcher = self.searchers[shard_ids[position]]
-                searcher.seed(query, result)
+                sid = shard_ids[position]
+                searcher = self.searchers[sid]
+                choice = choices.get(sid)
+                searcher.seed(query, result, choice)
                 # Read back through the memo so concurrent seeders agree
                 # on one canonical object (first write wins).
-                per_shard[position] = searcher.search(query)
+                per_shard[position] = searcher.search(query, choice)
         return merge_results(per_shard, self.k)
 
     def cache_stats(self) -> list[SearcherCacheStats]:

@@ -41,6 +41,7 @@ from repro.cluster.types import QueryRecord, SelectionPolicy
 from repro.cluster.cache import ResultCache
 from repro.retrieval.executor import prewarm_searchers
 from repro.retrieval.query import Query, QueryTrace
+from repro.retrieval.searcher import StrategySelector
 from repro.serving.admission import AdmissionController
 from repro.telemetry import NO_TELEMETRY, Telemetry
 from repro.telemetry.metrics import StreamingHistogram
@@ -135,6 +136,8 @@ class ServingPlane:
         replication: ReplicationConfig | None = None,
         admission: AdmissionController | None = None,
         retain_records: bool = True,
+        selector: StrategySelector | None = None,
+        decode_cache_size: int | None = None,
     ) -> RunResult:
         """One run: ``source`` arrivals through ``policy`` on the cluster.
 
@@ -144,12 +147,18 @@ class ServingPlane:
         open-loop.  ``admission`` turns on load shedding;
         ``retain_records=False`` swaps the per-query record list for a
         :class:`ServingStats` sink (``RunResult.serving``) so memory
-        stays O(pool), not O(queries).  All other parameters keep their
-        ``run_trace`` meaning.
+        stays O(pool), not O(queries).  ``selector`` is handed to the
+        aggregator for per-(query, shard) adaptive traversal dispatch
+        (and to the retrieval prewarm, which warms the keys it will
+        choose); ``decode_cache_size`` re-budgets the compressed shards'
+        decode LRUs before any retrieval runs.  All other parameters
+        keep their ``run_trace`` meaning.
         """
         from repro.cluster.engine import RunResult  # runtime import: no cycle
 
         cluster = self.cluster
+        if decode_cache_size is not None:
+            cluster.set_decode_cache(decode_cache_size)
         closed_loop = isinstance(source, QueryTrace)
         if closed_loop:
             prewarm_queries: list[Query] | None = source.queries
@@ -182,15 +191,29 @@ class ServingPlane:
             (cache.stats.hits, cache.stats.misses) if cache is not None else (0, 0)
         )
         try:
+            if prewarm_queries is not None and selector is not None:
+                # Batch the selector's own inference (one fused pass over
+                # the whole workload) before retrieval prewarm consults it
+                # per (query, shard).  Optional hook, like the policy's.
+                selector_prewarm = getattr(selector, "prewarm", None)
+                if selector_prewarm is not None:
+                    if tracer is None:
+                        selector_prewarm(prewarm_queries)
+                    else:
+                        with tracer.span(
+                            "cluster.prewarm_selector", track="cluster",
+                            n_queries=len(prewarm_queries),
+                        ):
+                            selector_prewarm(prewarm_queries)
             if prewarm_retrieval and prewarm_queries is not None:
                 if tracer is None:
-                    self._prewarm(prewarm_queries)
+                    self._prewarm(prewarm_queries, selector)
                 else:
                     with tracer.span(
                         "cluster.prewarm_retrieval", track="cluster",
                         n_queries=len(prewarm_queries),
                     ):
-                        self._prewarm(prewarm_queries)
+                        self._prewarm(prewarm_queries, selector)
             if prewarm_policy and prewarm_queries is not None:
                 # Optional hook: minimal duck-typed policies may omit it.
                 policy_prewarm = getattr(policy, "prewarm", None)
@@ -237,6 +260,7 @@ class ServingPlane:
                 selector=make_selector(repl),
                 admission=admission,
                 record_sink=stats.observe if stats is not None else None,
+                strategy_selector=selector,
             )
             last_arrival_ms = 0.0
             if closed_loop:
@@ -307,6 +331,9 @@ class ServingPlane:
             metrics.gauge("run.queries").set(n_queries)
             metrics.gauge("run.decode_hits").set(decode_after[0] - decode_before[0])
             metrics.gauge("run.decode_misses").set(decode_after[1] - decode_before[1])
+            metrics.gauge("run.decode_evictions").set(
+                decode_after[2] - decode_before[2]
+            )
             metrics.gauge("run.result_cache_hits").set(
                 result_cache_after[0] - result_cache_before[0]
             )
@@ -336,6 +363,8 @@ class ServingPlane:
             counted_service_ms=aggregator.counted_service_ms,
             decode_hits=decode_after[0] - decode_before[0],
             decode_misses=decode_after[1] - decode_before[1],
+            decode_evictions=decode_after[2] - decode_before[2],
+            strategy_choices=dict(aggregator.strategy_choices),
             result_cache_hits=result_cache_after[0] - result_cache_before[0],
             result_cache_misses=result_cache_after[1] - result_cache_before[1],
             offered_queries=aggregator.queries_seen,
@@ -346,8 +375,10 @@ class ServingPlane:
             serving=stats,
         )
 
-    def _prewarm(self, queries: list[Query]) -> int:
+    def _prewarm(
+        self, queries: list[Query], selector: StrategySelector | None = None
+    ) -> int:
         """Pipeline all uncached (shard, query) retrievals (deduplicated)."""
         return prewarm_searchers(
-            self.cluster.searcher.searchers, queries, self.cluster.executor
+            self.cluster.searcher.searchers, queries, self.cluster.executor, selector
         )

@@ -235,3 +235,31 @@ class TestRunTraceProcessBackend:
         )
         assert run_fingerprint(run) == run_fingerprint(reference)
         assert reference.decode_hits == reference.decode_misses == 0
+
+    def test_decode_cache_size_squeezes_without_changing_results(
+        self, shards, tmp_path
+    ):
+        """``decode_cache_size=1`` pins every compressed shard's decode LRU
+        at its one-entry floor — evictions happen and are surfaced on the
+        run, while the merged results stay bit-identical (the cache is
+        purely a wall-clock artifact)."""
+        pack_shards(shards, tmp_path)
+        lazy = open_stores(tmp_path)
+        squeezed = SearchCluster(lazy, k=10).run_trace(
+            self.make_trace(12), ExhaustivePolicy(), decode_cache_size=1
+        )
+        assert squeezed.decode_evictions > 0
+        reference = SearchCluster(shards, k=10).run_trace(
+            self.make_trace(12), ExhaustivePolicy()
+        )
+        assert run_fingerprint(squeezed) == run_fingerprint(reference)
+        assert reference.decode_evictions == 0
+
+    def test_set_decode_cache_touches_only_compressed_shards(
+        self, shards, tmp_path
+    ):
+        pack_shards(shards, tmp_path)
+        lazy = open_stores(tmp_path)
+        assert SearchCluster(lazy, k=10).set_decode_cache(4096) == len(shards)
+        # In-memory shards have no decode cache and must not grow one.
+        assert SearchCluster(shards, k=10).set_decode_cache(4096) == 0

@@ -80,6 +80,31 @@ class TestMD1:
             )
         assert np.mean(means) == pytest.approx(expected_wait, rel=0.2)
 
+    def test_latency_curve_tracks_pollaczek_khinchine(self, single_shard_cluster):
+        """Closed-loop validation across the sub-knee operating range: the
+        measured mean wait must track the M/D/1 curve at every utilization
+        a budget policy would actually run at, not just one point — and
+        the measured curve must be monotone in offered load (the knee
+        detector's core assumption)."""
+        cluster = single_shard_cluster
+        query = Query(query_id=0, terms=("alpha",))
+        service_ms = cluster.service_time_ms(query, 0)
+
+        measured = []
+        for rho in (0.3, 0.5, 0.7):
+            rate_qps = rho / (service_ms / 1000.0)
+            expected_wait = rho * service_ms / (2 * (1 - rho))
+            means = []
+            for seed in range(5):
+                trace = poisson_trace(rate_qps, duration_s=60.0, seed=seed)
+                run = cluster.run_trace(trace, ExhaustivePolicy())
+                means.append(
+                    np.mean([r.outcomes[0].queued_ms for r in run.records])
+                )
+            measured.append(float(np.mean(means)))
+            assert measured[-1] == pytest.approx(expected_wait, rel=0.2)
+        assert measured == sorted(measured)
+
     def test_utilization_matches_offered_load(self, single_shard_cluster):
         cluster = single_shard_cluster
         query = Query(query_id=0, terms=("alpha",))

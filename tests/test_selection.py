@@ -1,0 +1,261 @@
+"""Adaptive traversal selection: determinism, bit-identity, downshift.
+
+The selector's contract has three load-bearing halves:
+
+* **Determinism** — ``choose`` is a pure function of
+  ``(query.terms, shard_id, budget_ms)``: the memo caches, the replica
+  plane and trace replays all assume the same inputs yield the same
+  pick, and retraining with the same seed must reproduce the same model.
+* **Bit-identity** — dispatching a chosen strategy through the searcher
+  hook must produce *exactly* the result (fingerprint: hits, scores,
+  tie order, cost counters) of running that strategy standalone, and an
+  absent / always-``None`` selector must be byte-for-byte the static
+  path through the full simulated cluster.
+* **Budget downshift** — only an explicit sub-budget dispatch may leave
+  the rank-safe strategy space, and the unbudgeted (prewarm) view must
+  never see the downshifted choice.
+
+Runs under the ``dev``/``ci`` Hypothesis profiles from ``conftest.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import SearchCluster
+from repro.experiments.bench_retrieval import build_corpus, sample_queries
+from repro.experiments.oracle_sweep import sweep
+from repro.index.term_stats import TermStatsIndex
+from repro.policies import ExhaustivePolicy
+from repro.predictors import (
+    SAFE_STRATEGIES,
+    LearnedSelector,
+    TermFeatureCache,
+)
+from repro.retrieval import (
+    STRATEGIES,
+    FixedSelector,
+    Query,
+    QueryTrace,
+    ShardSearcher,
+    StrategyChoice,
+)
+
+N_SHARDS = 3
+DOCS_PER_SHARD = 100
+VOCAB_SIZE = 60
+N_QUERIES = 40
+K = 5
+SEED = 11
+
+VOCAB = [f"t{i:03d}" for i in range(VOCAB_SIZE)]
+
+# Hypothesis queries over the corpus vocabulary (plus OOV terms): unique
+# because ``Query`` rejects duplicates — dedup is the trace layer's job.
+term_tuples = st.lists(
+    st.sampled_from(VOCAB + ["zzz_oov"]), unique=True, min_size=1, max_size=4
+).map(tuple)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(N_SHARDS, DOCS_PER_SHARD, VOCAB_SIZE, SEED)
+
+
+@pytest.fixture(scope="module")
+def dataset(corpus):
+    return sweep(corpus, sample_queries(N_QUERIES, VOCAB_SIZE, SEED), k=K)
+
+
+@pytest.fixture(scope="module")
+def cache(corpus):
+    return TermFeatureCache([TermStatsIndex(s, k=K) for s in corpus])
+
+
+@pytest.fixture(scope="module")
+def selector(dataset, cache):
+    sel = LearnedSelector(cache, hidden_units=16, seed=SEED)
+    sel.fit(dataset.term_tuples, dataset.labels(), iterations=150, seed=SEED)
+    return sel
+
+
+def make_trace(dataset, spacing_s: float = 0.5) -> QueryTrace:
+    return QueryTrace(
+        name="selection",
+        queries=[
+            Query(query_id=i, terms=terms, arrival_time=i * spacing_s)
+            for i, terms in enumerate(dataset.term_tuples)
+        ],
+    )
+
+
+class TestDeterminism:
+    def test_retrain_same_seed_reproduces_choices(self, dataset, cache, selector):
+        twin = LearnedSelector(cache, hidden_units=16, seed=SEED)
+        twin.fit(dataset.term_tuples, dataset.labels(), iterations=150, seed=SEED)
+        want = selector.predict_strategies(dataset.term_tuples)
+        assert np.array_equal(twin.predict_strategies(dataset.term_tuples), want)
+
+    def test_repeated_batch_predictions_stable(self, dataset, selector):
+        first = selector.predict_strategies(dataset.term_tuples)
+        assert np.array_equal(selector.predict_strategies(dataset.term_tuples), first)
+
+    def test_lazy_choose_matches_batched_prediction(self, dataset, selector):
+        picked = selector.predict_strategies(dataset.term_tuples)
+        for q_idx, terms in enumerate(dataset.term_tuples[:8]):
+            query = Query(query_id=q_idx, terms=terms)
+            for sid in range(N_SHARDS):
+                choice = selector.choose(query, sid, None)
+                assert choice.strategy == SAFE_STRATEGIES[picked[q_idx, sid]]
+
+    def test_prewarm_agrees_with_lazy_path(self, dataset, cache, selector):
+        warmed = LearnedSelector(cache, hidden_units=16, seed=SEED)
+        warmed.fit(dataset.term_tuples, dataset.labels(), iterations=150, seed=SEED)
+        queries = make_trace(dataset).queries
+        assert warmed.prewarm(queries) == len(set(dataset.term_tuples))
+        assert warmed.prewarm(queries) == 0  # memoized — nothing new
+        for query in queries[:8]:
+            for sid in range(N_SHARDS):
+                want = selector.choose(query, sid, None)
+                assert warmed.choose(query, sid, None) == want
+
+    @given(terms=term_tuples)
+    def test_choose_is_pure_per_terms(self, selector, terms):
+        query = Query(query_id=0, terms=terms)
+        for sid in range(N_SHARDS):
+            first = selector.choose(query, sid, None)
+            assert first.strategy in SAFE_STRATEGIES
+            assert selector.choose(query, sid, None) == first
+
+
+class TestDispatchBitIdentity:
+    @given(terms=term_tuples)
+    def test_dispatch_matches_standalone_strategy(self, corpus, selector, terms):
+        """The gated property: a selected traversal dispatched through the
+        searcher hook is fingerprint-identical (hits, scores, tie order,
+        cost counters) to running that strategy directly."""
+        query = Query(query_id=0, terms=terms)
+        for sid, shard in enumerate(corpus):
+            choice = selector.choose(query, sid, None)
+            dispatched = ShardSearcher(shard, k=K).search(query, choice)
+            standalone = STRATEGIES[choice.strategy](shard, list(terms), K)
+            assert dispatched.fingerprint() == standalone.fingerprint()
+
+    def test_none_selector_is_bit_identical(self, corpus, dataset):
+        """``selector=None`` and a selector that always declines must both
+        be byte-for-byte the static cluster path."""
+
+        class Declines:
+            name = "declines"
+
+            def choose(self, query, shard_id, budget_ms):
+                return None
+
+        trace = make_trace(dataset)
+        runs = [
+            SearchCluster(corpus, k=K).run_trace(trace, ExhaustivePolicy(), selector=sel)
+            for sel in (None, Declines())
+        ]
+        baseline, declined = runs
+        assert baseline.strategy_choices == {}
+        # A declining selector still dispatches — the accounting records
+        # the effective (static default) strategy per shard request.
+        assert declined.strategy_choices == {
+            "maxscore": len(trace.queries) * N_SHARDS
+        }
+        assert [r.latency_ms for r in declined.records] == [
+            r.latency_ms for r in baseline.records
+        ]
+        for got, want in zip(declined.records, baseline.records):
+            assert got.result.fingerprint() == want.result.fingerprint()
+
+    def test_fixed_selector_overrides_cluster_default(self, corpus, dataset):
+        """Forcing one strategy through dispatch == configuring it
+        statically, and every dispatched job is accounted for."""
+        trace = make_trace(dataset)
+        static = SearchCluster(corpus, k=K, strategy="wand").run_trace(
+            trace, ExhaustivePolicy()
+        )
+        forced = SearchCluster(corpus, k=K, strategy="maxscore").run_trace(
+            trace, ExhaustivePolicy(),
+            selector=FixedSelector(StrategyChoice(strategy="wand")),
+        )
+        assert forced.strategy_choices == {"wand": len(trace.queries) * N_SHARDS}
+        for got, want in zip(forced.records, static.records):
+            assert got.result.fingerprint() == want.result.fingerprint()
+
+    def test_learned_selector_accounting(self, corpus, dataset, selector):
+        result = SearchCluster(corpus, k=K).run_trace(
+            make_trace(dataset), ExhaustivePolicy(), selector=selector
+        )
+        assert set(result.strategy_choices) <= set(SAFE_STRATEGIES)
+        total = sum(result.strategy_choices.values())
+        assert total == len(dataset.term_tuples) * N_SHARDS
+
+
+class TestBudgetDownshift:
+    @pytest.fixture(scope="class")
+    def downshifter(self, selector, cache, tmp_path_factory):
+        path = tmp_path_factory.mktemp("selector") / "selector.npz"
+        selector.save(path)
+        return LearnedSelector.load(path, cache, downshift_budget_ms=5.0)
+
+    def test_tight_budget_downshifts_to_conjunctive(self, dataset, downshifter):
+        query = Query(query_id=0, terms=dataset.term_tuples[0])
+        before = downshifter.downshifts
+        choice = downshifter.choose(query, 0, 1.0)
+        assert choice.strategy == "conjunctive"
+        assert downshifter.downshifts == before + 1
+
+    def test_unbudgeted_and_ample_budgets_stay_rank_safe(
+        self, dataset, selector, downshifter
+    ):
+        """Prewarm (no budget) and any budget at/above the threshold must
+        see the identical rank-safe pick the plain selector makes."""
+        for q_idx, terms in enumerate(dataset.term_tuples[:8]):
+            query = Query(query_id=q_idx, terms=terms)
+            for sid in range(N_SHARDS):
+                want = selector.choose(query, sid, None)
+                assert downshifter.choose(query, sid, None) == want
+                assert downshifter.choose(query, sid, 5.0) == want
+                assert downshifter.choose(query, sid, 250.0) == want
+
+
+class TestPersistence:
+    def test_roundtrip_reproduces_predictions(
+        self, dataset, cache, selector, tmp_path
+    ):
+        path = tmp_path / "selector.npz"
+        selector.save(path)
+        loaded = LearnedSelector.load(path, cache)
+        assert loaded.confidence == selector.confidence
+        assert loaded.fallback_strategy == selector.fallback_strategy
+        assert np.array_equal(
+            loaded.predict_strategies(dataset.term_tuples),
+            selector.predict_strategies(dataset.term_tuples),
+        )
+
+    def test_shard_count_mismatch_rejected(self, corpus, selector, tmp_path):
+        path = tmp_path / "selector.npz"
+        selector.save(path)
+        smaller = TermFeatureCache([TermStatsIndex(corpus[0], k=K)])
+        with pytest.raises(ValueError, match="shards"):
+            LearnedSelector.load(path, smaller)
+
+    def test_untrained_selector_cannot_save_or_predict(self, cache, tmp_path):
+        fresh = LearnedSelector(cache, hidden_units=16, seed=SEED)
+        with pytest.raises(RuntimeError, match="untrained"):
+            fresh.save(tmp_path / "nope.npz")
+        with pytest.raises(RuntimeError, match="not been trained"):
+            fresh.predict_strategies([("t000",)])
+
+    def test_unsafe_fallback_rejected(self, cache):
+        with pytest.raises(ValueError, match="rank-safe"):
+            LearnedSelector(cache, fallback_strategy="conjunctive")
+
+    def test_unknown_strategy_choice_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            StrategyChoice(strategy="teleport")

@@ -237,6 +237,35 @@ class TestCompressedArena:
         assert stats.hits + stats.misses == 2 * len(shard.terms())
         assert stats.misses >= len(shard.terms())
 
+    def test_decode_evictions_counted(self):
+        """A budget below any single column pins the LRU at its one-entry
+        floor, so every subsequent decode evicts the previous term —
+        and the counter must account for exactly those."""
+        shard = build_shard([[VOCAB[i % 12]] * 3 for i in range(60)])
+        packed = CompressedPostingsArena.from_arena(
+            PostingsArena.from_shard(shard), cache_bytes=1
+        )
+        for term in sorted(shard.terms()):
+            packed.run(term)
+        stats = packed.decode_stats
+        assert stats.entries == 1
+        assert stats.evictions == stats.misses - stats.entries
+
+    def test_set_cache_budget_shrink_evicts_immediately(self):
+        shard = build_shard([[VOCAB[i % 12]] * 3 for i in range(60)])
+        packed = CompressedPostingsArena.from_arena(
+            PostingsArena.from_shard(shard)
+        )
+        decoded = {t: packed.run(t).scores.tolist() for t in sorted(shard.terms())}
+        assert packed.decode_stats.evictions == 0
+        packed.set_cache_budget(1)
+        stats = packed.decode_stats
+        assert stats.entries == 1
+        assert stats.evictions == stats.misses - stats.entries
+        # Eviction only drops cached columns — re-decodes stay bit-exact.
+        for term, want in decoded.items():
+            assert packed.run(term).scores.tolist() == want
+
 
 # ------------------------------------------------------------ persistence
 class TestStoreRoundTrip:
