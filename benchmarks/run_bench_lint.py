@@ -1,0 +1,103 @@
+"""Standalone simlint cache benchmark: warm runs must actually be warm.
+
+Times one cold ``run_lint`` over ``src/repro`` (fresh cache) and the
+best of several warm runs against the populated cache, then writes
+``BENCH_lint.json`` for the perf trajectory::
+
+    python benchmarks/run_bench_lint.py --out BENCH_lint.json
+
+Exits nonzero if the warm run exceeds ``--max-warm-ratio`` of the cold
+wall time (CI gates at 0.25), if the warm run parses any file or misses
+the project-phase cache, or if warm findings diverge from cold ones.
+Everything runs in-process — a subprocess measurement would be dominated
+by interpreter plus numpy start-up, which the cache cannot help with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import run_lint  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-warm-ratio", type=float, default=0.25,
+        help="warm wall time must stay under this fraction of cold",
+    )
+    parser.add_argument(
+        "--warm-repeats", type=int, default=3,
+        help="warm runs to take the best of (steadies scheduler noise)",
+    )
+    parser.add_argument("--out", default="BENCH_lint.json")
+    args = parser.parse_args(argv)
+
+    target = os.path.join(REPO_ROOT, "src", "repro")
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = os.path.join(scratch, "simlint-cache.json")
+
+        t0 = time.perf_counter()
+        cold = run_lint([target], root=REPO_ROOT, cache_path=cache_path)
+        cold_s = time.perf_counter() - t0
+
+        warm_s = float("inf")
+        warm = cold
+        for _ in range(max(1, args.warm_repeats)):
+            t0 = time.perf_counter()
+            warm = run_lint([target], root=REPO_ROOT, cache_path=cache_path)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+
+    ratio = warm_s / cold_s if cold_s > 0 else float("inf")
+    record = {
+        "files_scanned": cold.files_scanned,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_ratio": round(ratio, 4),
+        "max_warm_ratio": args.max_warm_ratio,
+        "warm_files_parsed": warm.files_parsed,
+        "warm_cache_hits": warm.cache_hits,
+        "warm_project_cache_hits": warm.project_cache_hits,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"simlint cache: cold {cold_s:.3f}s, warm {warm_s:.3f}s "
+        f"(ratio {ratio:.3f}, gate {args.max_warm_ratio}), "
+        f"{cold.files_scanned} files"
+    )
+
+    failures = []
+    if warm.findings != cold.findings:
+        failures.append("warm findings diverge from cold findings")
+    if warm.files_parsed != 0:
+        failures.append(f"warm run parsed {warm.files_parsed} file(s)")
+    if warm.project_cache_hits == 0:
+        failures.append("warm run re-ran the project rules")
+    if ratio > args.max_warm_ratio:
+        failures.append(
+            f"warm/cold ratio {ratio:.3f} exceeds gate {args.max_warm_ratio}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,14 +1,17 @@
-"""Per-file result cache, keyed on content hash.
+"""Incremental cache: per-file facts and findings, dependency-aware.
 
-Rules are pure functions of a file's text (pragma comments included), so
-a file whose SHA-256 is unchanged under the same rule set must produce
-the same findings — the cache just stores them.  A warm run over
-``src/repro`` is then pure hashing plus one JSON load, which is what
-keeps ``repro lint`` fast enough to sit in front of every test job.
+Per-file rules are pure functions of one file's text, so their entries
+are keyed on the file's SHA-256 alone.  Whole-program rules additionally
+depend on every module reachable through the import graph, so each entry
+also records the file's **dependency-closure hash**; cached project
+findings are served only while that matches.  A fully-warm run is then
+pure hashing plus one JSON load — no parsing, no fixpoints.
 
 The cache file is an implementation detail (gitignored), versioned by
-the rules signature: enabling a different rule subset or bumping
-``ANALYZER_VERSION`` invalidates every entry at once.
+the rules signature, which embeds a content digest of the analyzer's own
+sources: editing any rule, or enabling a different rule subset,
+invalidates every entry at once.  Entries are raw JSON dicts; the engine
+owns the schema (see ``LintEngine._entry_for``).
 """
 
 from __future__ import annotations
@@ -19,9 +22,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.analysis.findings import Finding
-
-_CACHE_FORMAT = 1
+_CACHE_FORMAT = 2
 
 
 def content_hash(source: str) -> str:
@@ -29,12 +30,11 @@ def content_hash(source: str) -> str:
 
 
 class ResultCache:
-    """Load-once / save-once JSON cache of per-file findings."""
+    """Load-once / save-once JSON cache of per-file analysis entries."""
 
     def __init__(self, path: Path | None, rules_signature: str) -> None:
         self.path = path
         self.rules_signature = rules_signature
-        self.hits = 0
         self._entries: dict[str, dict[str, object]] = {}
         self._dirty = False
         if path is not None:
@@ -54,26 +54,17 @@ class ResultCache:
         files = data.get("files")
         return files if isinstance(files, dict) else {}
 
-    def get(self, rel_path: str, source_hash: str) -> list[Finding] | None:
-        """Cached findings for this exact file content, or None."""
+    def get_entry(
+        self, rel_path: str, source_hash: str
+    ) -> dict[str, object] | None:
+        """The raw cached entry for this exact file content, or None."""
         entry = self._entries.get(rel_path)
         if entry is None or entry.get("hash") != source_hash:
             return None
-        raw = entry.get("findings")
-        if not isinstance(raw, list):
-            return None
-        try:
-            findings = [Finding.from_json(item) for item in raw]
-        except (KeyError, TypeError, ValueError):
-            return None
-        self.hits += 1
-        return findings
+        return entry
 
-    def put(self, rel_path: str, source_hash: str, findings: list[Finding]) -> None:
-        self._entries[rel_path] = {
-            "hash": source_hash,
-            "findings": [finding.to_json() for finding in findings],
-        }
+    def put_entry(self, rel_path: str, entry: dict[str, object]) -> None:
+        self._entries[rel_path] = entry
         self._dirty = True
 
     def save(self) -> None:

@@ -15,6 +15,10 @@ counting at baseline-filter time, not by the fingerprint itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # registry imports findings; annotations only here
+    from repro.analysis.registry import Rule
 
 
 @dataclass(frozen=True, order=True)
@@ -65,6 +69,33 @@ class Finding:
 
 
 @dataclass(frozen=True)
+class LintWarning:
+    """A non-fatal diagnostic (e.g. a pragma naming an unknown rule id).
+
+    Warnings never affect the exit code: they flag linter *usage*
+    problems, not determinism-contract violations.
+    """
+
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: warning: {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {"path": self.path, "line": self.line, "message": self.message}
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "LintWarning":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+        )
+
+
+@dataclass(frozen=True)
 class LintError:
     """A file the engine could not analyze (syntax error, IO failure).
 
@@ -85,8 +116,11 @@ class LintReport:
 
     findings: list[Finding] = field(default_factory=list)
     errors: list[LintError] = field(default_factory=list)
+    warnings: list[LintWarning] = field(default_factory=list)
     files_scanned: int = 0
+    files_parsed: int = 0
     cache_hits: int = 0
+    project_cache_hits: int = 0
     pragma_suppressed: int = 0
     baseline_suppressed: int = 0
 
@@ -99,3 +133,95 @@ class LintReport:
         if self.errors:
             return 2
         return 1 if self.findings else 0
+
+
+#: Published with every SARIF log so code-scanning UIs can link back.
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(report: LintReport, rules: Sequence["Rule"]) -> dict[str, object]:
+    """Render a report as a SARIF 2.1.0 log (one run, driver ``simlint``).
+
+    ``rules`` is the sequence of Rule objects that ran; their
+    summary/rationale become the SARIF rule metadata that code-scanning
+    UIs show next to each alert.  Engine errors map to tool-execution
+    notifications so a syntax error is visible but not a "result".
+    """
+    rule_meta: list[dict[str, object]] = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    rule_index = {meta["id"]: index for index, meta in enumerate(rule_meta)}
+    results: list[dict[str, object]] = []
+    for finding in report.findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"simlint/v1": finding.fingerprint()},
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": error.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": error.path,
+                            "uriBaseId": "%SRCROOT%",
+                        }
+                    }
+                }
+            ],
+        }
+        for error in report.errors
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "https://example.invalid/simlint",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

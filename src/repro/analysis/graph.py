@@ -1,0 +1,790 @@
+"""The project graph: per-file facts, imports, and the call graph.
+
+This is the substrate every whole-program rule stands on.  Each file is
+parsed **once** into a :class:`ModuleFacts` record — its internal
+imports, its function table, every call site with the argument shapes
+the flow rules care about, its wall-clock/RNG taint sources, and its
+expanded pragma map.  Facts are plain data (JSON round-trippable), which
+is what lets the engine cache them per content hash and rebuild the
+whole project graph on a warm run *without parsing a single file*.
+
+:class:`ProjectContext` assembles the facts into the project view:
+
+* the **import graph** (module -> modules it imports, with the
+  top-level/lazy/TYPE_CHECKING distinction the layer contract needs),
+* per-module **name bindings** (``from repro.x import f`` binds ``f``),
+* lexical **call resolution** (``helper(...)``, ``mod.helper(...)``,
+  ``self.method(...)`` -> a ``(module, qualname)`` function key),
+* the **dependency-closure hash** that keys incremental cache entries:
+  a file's entry is valid only while every module reachable from it
+  through the import graph is byte-identical.
+
+Resolution is deliberately lexical — no type inference — matching the
+rest of simlint: precise enough to follow the repo's real helper
+chains, simple enough to stay fast and predictable.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.rules import (
+    _GLOBAL_RANDOM_FNS,
+    _NP_GLOBAL_RANDOM_FNS,
+    _WALL_CLOCK_DATETIME,
+    _WALL_CLOCK_TIME_FNS,
+    _bare_imports_from,
+)
+from repro.analysis.registry import dotted_name
+
+#: argument-shape tags the flow rules consume.
+ARG_LAMBDA = "lambda"
+ARG_NESTED = "nested"
+ARG_PARAM = "param"
+ARG_NAME = "name"
+
+
+@dataclass(frozen=True)
+class RawImport:
+    """One import statement, unresolved (resolution needs the module set)."""
+
+    module: str  # "repro.cluster.types" for from-imports, alias name for Import
+    names: tuple[tuple[str, str], ...]  # (name, local alias) pairs; () for Import
+    level: int  # relative-import level (0 = absolute)
+    lineno: int
+    col: int
+    top_level: bool  # module scope, outside TYPE_CHECKING
+    is_from: bool
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "names": [list(pair) for pair in self.names],
+            "level": self.level,
+            "lineno": self.lineno,
+            "col": self.col,
+            "top_level": self.top_level,
+            "is_from": self.is_from,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "RawImport":
+        return cls(
+            module=str(data["module"]),
+            names=tuple(
+                (str(pair[0]), str(pair[1]))
+                for pair in data["names"]  # type: ignore[union-attr]
+            ),
+            level=int(data["level"]),  # type: ignore[arg-type]
+            lineno=int(data["lineno"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            top_level=bool(data["top_level"]),
+            is_from=bool(data["is_from"]),
+        )
+
+
+@dataclass(frozen=True)
+class CallArg:
+    """One argument at a call site, kept only when a flow rule needs it."""
+
+    slot: str  # positional index as str, or "k:<keyword>"
+    kind: str  # ARG_LAMBDA | ARG_NESTED | ARG_PARAM | ARG_NAME
+    name: str  # identifier ("" for lambdas)
+    line: int
+    col: int
+
+    def to_json(self) -> list[object]:
+        return [self.slot, self.kind, self.name, self.line, self.col]
+
+    @classmethod
+    def from_json(cls, data: list[object]) -> "CallArg":
+        return cls(
+            slot=str(data[0]),
+            kind=str(data[1]),
+            name=str(data[2]),
+            line=int(data[3]),  # type: ignore[arg-type]
+            col=int(data[4]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A call whose callee is a plain dotted-name chain."""
+
+    caller: str  # enclosing function qualname or "<module>"
+    callee: str  # lexical callee: "helper", "mod.helper", "self.method"
+    line: int
+    col: int
+    args: tuple[CallArg, ...]
+    is_sink: bool  # a process-pool .submit/.map site
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "caller": self.caller,
+            "callee": self.callee,
+            "line": self.line,
+            "col": self.col,
+            "args": [arg.to_json() for arg in self.args],
+            "is_sink": self.is_sink,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "CallSite":
+        return cls(
+            caller=str(data["caller"]),
+            callee=str(data["callee"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            args=tuple(
+                CallArg.from_json(arg)  # type: ignore[arg-type]
+                for arg in data["args"]  # type: ignore[union-attr]
+            ),
+            is_sink=bool(data["is_sink"]),
+        )
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """A module-level function or a class method (nested defs fold in)."""
+
+    qualname: str  # "helper" or "Class.method"
+    line: int
+    params: tuple[str, ...]  # positional-capable params, declaration order
+    is_method: bool  # bound-call offset applies (self/cls implicit)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "params": list(self.params),
+            "is_method": self.is_method,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "FunctionInfo":
+        return cls(
+            qualname=str(data["qualname"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            params=tuple(str(p) for p in data["params"]),  # type: ignore[union-attr]
+            is_method=bool(data["is_method"]),
+        )
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """A direct wall-clock or global-RNG call inside one function scope."""
+
+    caller: str  # enclosing function qualname or "<module>"
+    name: str  # e.g. "time.perf_counter", "np.random.rand"
+    line: int
+    kind: str  # "clock" | "rng"
+
+    def to_json(self) -> list[object]:
+        return [self.caller, self.name, self.line, self.kind]
+
+    @classmethod
+    def from_json(cls, data: list[object]) -> "TaintSource":
+        return cls(
+            caller=str(data[0]),
+            name=str(data[1]),
+            line=int(data[2]),  # type: ignore[arg-type]
+            kind=str(data[3]),
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the whole-program passes need from one file."""
+
+    module: str  # dotted name, e.g. "repro.cluster.engine"
+    module_path: str  # path inside the repro package, e.g. "cluster/engine.py"
+    rel_path: str  # repo-relative path findings report
+    imports: tuple[RawImport, ...]
+    functions: dict[str, FunctionInfo]
+    calls: tuple[CallSite, ...]
+    sources: tuple[TaintSource, ...]
+    pragmas: dict[int, frozenset[str]]  # statement-expanded
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "module": self.module,
+            "module_path": self.module_path,
+            "rel_path": self.rel_path,
+            "imports": [imp.to_json() for imp in self.imports],
+            "functions": [fn.to_json() for fn in self.functions.values()],
+            "calls": [call.to_json() for call in self.calls],
+            "sources": [src.to_json() for src in self.sources],
+            "pragmas": {
+                str(line): sorted(rules) for line, rules in self.pragmas.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "ModuleFacts":
+        functions = [
+            FunctionInfo.from_json(fn)  # type: ignore[arg-type]
+            for fn in data["functions"]  # type: ignore[union-attr]
+        ]
+        return cls(
+            module=str(data["module"]),
+            module_path=str(data["module_path"]),
+            rel_path=str(data["rel_path"]),
+            imports=tuple(
+                RawImport.from_json(imp)  # type: ignore[arg-type]
+                for imp in data["imports"]  # type: ignore[union-attr]
+            ),
+            functions={fn.qualname: fn for fn in functions},
+            calls=tuple(
+                CallSite.from_json(call)  # type: ignore[arg-type]
+                for call in data["calls"]  # type: ignore[union-attr]
+            ),
+            sources=tuple(
+                TaintSource.from_json(src)  # type: ignore[arg-type]
+                for src in data["sources"]  # type: ignore[union-attr]
+            ),
+            pragmas={
+                int(line): frozenset(str(r) for r in rules)  # type: ignore[union-attr]
+                for line, rules in data["pragmas"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+def dotted_module_name(module_path: str) -> str:
+    """``cluster/engine.py`` -> ``repro.cluster.engine``.
+
+    Package ``__init__.py`` files name the package itself; the package
+    root's own ``__init__.py`` is just ``repro``.
+    """
+    trimmed = module_path[:-3] if module_path.endswith(".py") else module_path
+    if trimmed.endswith("/__init__"):
+        trimmed = trimmed[: -len("/__init__")]
+    if trimmed == "__init__":
+        return "repro"
+    return "repro." + trimmed.replace("/", ".")
+
+
+def module_path_from_dotted(dotted: str) -> str:
+    """Best-effort inverse of :func:`dotted_module_name` (layer lookup)."""
+    if dotted == "repro":
+        return "__init__.py"
+    trimmed = dotted[len("repro."):] if dotted.startswith("repro.") else dotted
+    return trimmed.replace(".", "/") + ".py"
+
+
+# --------------------------------------------------------------------------
+# facts extraction
+# --------------------------------------------------------------------------
+
+_PROCESS_POOL_METHODS = ("submit", "map")
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    name = dotted_name(test)
+    return name is not None and name.split(".")[-1] == "TYPE_CHECKING"
+
+
+class _FactsExtractor:
+    """Single AST walk producing a :class:`ModuleFacts` record."""
+
+    def __init__(self, module: str, module_path: str, rel_path: str) -> None:
+        self.module = module
+        self.module_path = module_path
+        self.rel_path = rel_path
+        self.imports: list[RawImport] = []
+        self.functions: dict[str, FunctionInfo] = {}
+        self.calls: list[CallSite] = []
+        self.sources: list[TaintSource] = []
+        self._bare_clock: frozenset[str] = frozenset()
+
+    def extract(self, tree: ast.Module) -> None:
+        self._bare_clock = _bare_imports_from(tree, "time", _WALL_CLOCK_TIME_FNS)
+        self._walk_body(tree.body, scope="<module>", scope_node=None,
+                        class_name=None, top_level=True)
+
+    # -- scope walking ----------------------------------------------------
+
+    def _walk_body(
+        self,
+        body: list[ast.stmt],
+        scope: str,
+        scope_node: ast.AST | None,
+        class_name: str | None,
+        top_level: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                self._record_import(stmt, top_level)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if scope == "<module>":
+                    qualname = (
+                        f"{class_name}.{stmt.name}" if class_name else stmt.name
+                    )
+                    self._record_function(stmt, qualname, class_name is not None)
+                    self._scan_function(stmt, qualname)
+                # nested defs were already folded into the enclosing scan
+            elif isinstance(stmt, ast.ClassDef) and scope == "<module>" and class_name is None:
+                self._walk_body(stmt.body, scope, scope_node, stmt.name, False)
+            elif isinstance(stmt, ast.If) and _is_type_checking_test(stmt.test):
+                self._walk_body(stmt.body, scope, scope_node, class_name, False)
+                self._walk_body(stmt.orelse, scope, scope_node, class_name, top_level)
+            else:
+                # module-level (or class-level) executable statements:
+                # record calls/sources under the current scope, and any
+                # imports nested in compound statements as non-top-level.
+                self._scan_statement(stmt, scope)
+
+    def _scan_statement(self, stmt: ast.stmt, scope: str) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._record_import(node, top_level=False)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            elif isinstance(node, ast.Call):
+                self._record_call(node, scope, params=frozenset(), nested=frozenset())
+
+    def _record_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, qualname: str,
+        in_class: bool,
+    ) -> None:
+        decorators = {dotted_name(d) for d in node.decorator_list}
+        is_method = in_class and "staticmethod" not in {
+            (d or "").split(".")[-1] for d in decorators
+        }
+        args = node.args
+        # positional params first (slot-index mapping relies on order);
+        # kwonly appended after, reachable only through keyword slots.
+        params = tuple(
+            arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs
+        )
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname, line=node.lineno, params=params, is_method=is_method
+        )
+
+    def _scan_function(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef, qualname: str
+    ) -> None:
+        """Scan a function body, nested defs folded in, imports tagged lazy."""
+        args = func.args
+        params = frozenset(
+            arg.arg
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        )
+        nested = frozenset(
+            node.name
+            for node in ast.walk(func)
+            if node is not func
+            and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for node in ast.walk(func):
+            if node is func:
+                continue
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._record_import(node, top_level=False)
+            elif isinstance(node, ast.Call):
+                self._record_call(node, qualname, params, nested)
+
+    # -- imports ----------------------------------------------------------
+
+    def _record_import(
+        self, node: ast.Import | ast.ImportFrom, top_level: bool
+    ) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self.imports.append(
+                    RawImport(
+                        module=alias.name,
+                        names=((alias.name, alias.asname or alias.name),),
+                        level=0,
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        top_level=top_level,
+                        is_from=False,
+                    )
+                )
+        else:
+            self.imports.append(
+                RawImport(
+                    module=node.module or "",
+                    names=tuple(
+                        (alias.name, alias.asname or alias.name)
+                        for alias in node.names
+                    ),
+                    level=node.level,
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    top_level=top_level,
+                    is_from=True,
+                )
+            )
+
+    # -- calls and taint sources ------------------------------------------
+
+    def _record_call(
+        self,
+        node: ast.Call,
+        scope: str,
+        params: frozenset[str],
+        nested: frozenset[str],
+    ) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            source_kind = self._classify_source(node, name)
+            if source_kind is not None:
+                self.sources.append(
+                    TaintSource(
+                        caller=scope, name=name, line=node.lineno, kind=source_kind
+                    )
+                )
+        is_sink = (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PROCESS_POOL_METHODS
+            and self._process_receiver(node.func.value)
+        )
+        if name is None and not is_sink:
+            return  # dynamic callee (call/subscript in the chain): unresolvable
+        self.calls.append(
+            CallSite(
+                caller=scope,
+                callee=name if name is not None else "<dynamic>",
+                line=node.lineno,
+                col=node.col_offset,
+                args=self._call_args(node, params, nested),
+                is_sink=is_sink,
+            )
+        )
+
+    def _classify_source(self, node: ast.Call, name: str) -> str | None:
+        head, _, tail = name.rpartition(".")
+        if (
+            (head == "time" and tail in _WALL_CLOCK_TIME_FNS)
+            or name in _WALL_CLOCK_DATETIME
+            or name in self._bare_clock
+        ):
+            return "clock"
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            return "rng"
+        if head in ("np.random", "numpy.random") and tail in _NP_GLOBAL_RANDOM_FNS:
+            return "rng"
+        if tail == "default_rng" or name == "default_rng":
+            if not node.args and not node.keywords:
+                return "rng"
+        return None
+
+    def _process_receiver(self, expr: ast.expr) -> bool:
+        target = expr.func if isinstance(expr, ast.Call) else expr
+        text = dotted_name(target)
+        if text is None:
+            current = target
+            while isinstance(current, (ast.Attribute, ast.Subscript)):
+                current = current.value
+            text = current.id if isinstance(current, ast.Name) else ""
+        return "process" in text.lower()
+
+    def _call_args(
+        self, node: ast.Call, params: frozenset[str], nested: frozenset[str]
+    ) -> tuple[CallArg, ...]:
+        out: list[CallArg] = []
+        slots: list[tuple[str, ast.expr]] = [
+            (str(index), arg) for index, arg in enumerate(node.args)
+        ] + [(f"k:{kw.arg}", kw.value) for kw in node.keywords if kw.arg]
+        for slot, arg in slots:
+            if isinstance(arg, ast.Lambda):
+                out.append(CallArg(slot, ARG_LAMBDA, "", arg.lineno, arg.col_offset))
+            elif isinstance(arg, ast.Name):
+                if arg.id in nested:
+                    kind = ARG_NESTED
+                elif arg.id in params:
+                    kind = ARG_PARAM
+                else:
+                    kind = ARG_NAME
+                out.append(CallArg(slot, kind, arg.id, arg.lineno, arg.col_offset))
+        return tuple(out)
+
+
+def extract_facts(
+    tree: ast.Module,
+    rel_path: str,
+    module_path: str,
+    pragmas: dict[int, frozenset[str]],
+) -> ModuleFacts:
+    """Parse-once fact extraction for one file."""
+    extractor = _FactsExtractor(
+        module=dotted_module_name(module_path),
+        module_path=module_path,
+        rel_path=rel_path,
+    )
+    extractor.extract(tree)
+    return ModuleFacts(
+        module=extractor.module,
+        module_path=extractor.module_path,
+        rel_path=extractor.rel_path,
+        imports=tuple(extractor.imports),
+        functions=extractor.functions,
+        calls=tuple(extractor.calls),
+        sources=tuple(extractor.sources),
+        pragmas=pragmas,
+    )
+
+
+# --------------------------------------------------------------------------
+# the project view
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResolvedImport:
+    """One internal import edge, resolved against the scanned module set."""
+
+    target: str  # dotted internal module
+    lineno: int
+    col: int
+    top_level: bool
+
+
+@dataclass
+class ProjectContext:
+    """The whole-program view handed to every :class:`ProjectRule`."""
+
+    modules: dict[str, ModuleFacts] = field(default_factory=dict)
+    edges: dict[str, tuple[ResolvedImport, ...]] = field(default_factory=dict)
+    bindings: dict[str, dict[str, str]] = field(default_factory=dict)
+    hashes: dict[str, str] = field(default_factory=dict)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, facts: dict[str, ModuleFacts], hashes: dict[str, str]
+    ) -> "ProjectContext":
+        """Resolve raw imports into edges + name bindings.
+
+        ``facts``/``hashes`` are keyed by dotted module name.  Import
+        targets outside the scanned set (stdlib, numpy, un-scanned repro
+        modules) resolve to nothing and simply drop out of the graph.
+        """
+        project = cls(modules=facts, hashes=hashes)
+        for module, info in facts.items():
+            edges: dict[tuple[str, int], ResolvedImport] = {}
+            bindings: dict[str, str] = {}
+            for imp in info.imports:
+                for target, binding in _resolve_import(module, imp, facts):
+                    if target is not None:
+                        key = (target, imp.lineno)
+                        existing = edges.get(key)
+                        if existing is None or (imp.top_level and not existing.top_level):
+                            edges[key] = ResolvedImport(
+                                target=target,
+                                lineno=imp.lineno,
+                                col=imp.col,
+                                top_level=imp.top_level,
+                            )
+                    if binding is not None:
+                        bindings[binding[0]] = binding[1]
+            project.edges[module] = tuple(
+                sorted(edges.values(), key=lambda e: (e.lineno, e.target))
+            )
+            project.bindings[module] = bindings
+        return project
+
+    # -- dependency closure ------------------------------------------------
+
+    def reachable(self, module: str) -> frozenset[str]:
+        """Modules reachable from ``module`` via imports (self included)."""
+        seen: set[str] = set()
+        stack = [module]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for edge in self.edges.get(current, ()):
+                if edge.target not in seen:
+                    stack.append(edge.target)
+        return frozenset(seen)
+
+    def dependency_hash(self, module: str) -> str:
+        """Cache key for ``module``: its hash + every dependency's hash.
+
+        Any byte change in any module reachable through the import graph
+        changes this digest — that is the dependency-aware invalidation
+        the whole-program rules require.
+        """
+        hasher = hashlib.sha256()
+        for name in sorted(self.reachable(module)):
+            hasher.update(name.encode("utf-8"))
+            hasher.update(b"=")
+            hasher.update(self.hashes.get(name, "").encode("utf-8"))
+            hasher.update(b"\0")
+        return hasher.hexdigest()
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(
+        self, module: str, site: CallSite
+    ) -> tuple[str, str] | None:
+        """Resolve a call site to a ``(module, qualname)`` function key."""
+        facts = self.modules.get(module)
+        if facts is None:
+            return None
+        callee = site.callee
+        bindings = self.bindings.get(module, {})
+        if callee.startswith("self.") or callee.startswith("cls."):
+            method = callee.split(".", 1)[1]
+            if "." in method:
+                return None
+            if "." in site.caller:
+                qualname = f"{site.caller.split('.')[0]}.{method}"
+                if qualname in facts.functions:
+                    return (module, qualname)
+            return None
+        parts = callee.split(".")
+        if len(parts) == 1:
+            if callee in facts.functions:
+                return (module, callee)
+            bound = bindings.get(callee)
+            if bound is not None and ":" in bound:
+                target_module, member = bound.split(":", 1)
+                target = self.modules.get(target_module)
+                if target is not None and member in target.functions:
+                    return (target_module, member)
+            return None
+        if len(parts) == 2:
+            head, tail = parts
+            bound = bindings.get(head)
+            if bound is not None and ":" not in bound:
+                target = self.modules.get(bound)
+                if target is not None and tail in target.functions:
+                    return (bound, tail)
+            if bound is not None and ":" in bound:
+                # "Cls.method" via an imported class name
+                target_module, member = bound.split(":", 1)
+                target = self.modules.get(target_module)
+                qualname = f"{member}.{tail}"
+                if target is not None and qualname in target.functions:
+                    return (target_module, qualname)
+            if callee in facts.functions:
+                return (module, callee)
+            qualname = f"{head}.{tail}"
+            if qualname in facts.functions:
+                return (module, qualname)
+        return None
+
+    def function(self, key: tuple[str, str]) -> FunctionInfo | None:
+        facts = self.modules.get(key[0])
+        if facts is None:
+            return None
+        return facts.functions.get(key[1])
+
+    def iter_functions(self) -> Iterator[tuple[str, FunctionInfo]]:
+        for module in sorted(self.modules):
+            for qualname in sorted(self.modules[module].functions):
+                yield module, self.modules[module].functions[qualname]
+
+    # -- exports -----------------------------------------------------------
+
+    def to_json(self) -> dict[str, object]:
+        """JSON graph export (``repro lint --graph json``)."""
+        from repro.analysis.layers import layer_of  # avoid import cycle at load
+
+        modules = {}
+        for name in sorted(self.modules):
+            facts = self.modules[name]
+            layer = layer_of(facts.module_path)
+            modules[name] = {
+                "path": facts.rel_path,
+                "layer": layer[1] if layer is not None else None,
+                "functions": len(facts.functions),
+            }
+        edges = [
+            {
+                "source": source,
+                "target": edge.target,
+                "line": edge.lineno,
+                "top_level": edge.top_level,
+            }
+            for source in sorted(self.edges)
+            for edge in self.edges[source]
+        ]
+        return {"modules": modules, "edges": edges}
+
+    def to_dot(self) -> str:
+        """GraphViz export, modules clustered by top-level package."""
+        from repro.analysis.layers import layer_of
+
+        clusters: dict[str, list[str]] = {}
+        for name in sorted(self.modules):
+            package = name.split(".")[1] if name.count(".") >= 1 else name
+            clusters.setdefault(package, []).append(name)
+        lines = ["digraph simlint {", "  rankdir=LR;", "  node [shape=box];"]
+        for package in sorted(clusters):
+            lines.append(f'  subgraph "cluster_{package}" {{')
+            lines.append(f'    label="{package}";')
+            for name in clusters[package]:
+                layer = layer_of(self.modules[name].module_path)
+                label = name[len("repro."):] if name.startswith("repro.") else name
+                tooltip = layer[1] if layer is not None else "unassigned"
+                lines.append(
+                    f'    "{name}" [label="{label}", tooltip="layer: {tooltip}"];'
+                )
+            lines.append("  }")
+        for source in sorted(self.edges):
+            for edge in self.edges[source]:
+                style = "" if edge.top_level else " [style=dashed]"
+                lines.append(f'  "{source}" -> "{edge.target}"{style};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _resolve_import(
+    module: str, imp: RawImport, facts: dict[str, ModuleFacts]
+) -> list[tuple[str | None, tuple[str, str] | None]]:
+    """Expand one raw import into (edge target, (local name, binding)) pairs.
+
+    Bindings are ``"repro.x.y"`` for module objects and
+    ``"repro.x.y:member"`` for imported members.
+    """
+    out: list[tuple[str | None, tuple[str, str] | None]] = []
+    if not imp.is_from:
+        target = imp.module
+        if not target.startswith("repro"):
+            return out
+        resolved = target if target in facts else None
+        alias = imp.names[0][1] if imp.names else target
+        if alias != target and resolved is not None:
+            out.append((resolved, (alias, target)))
+        elif resolved is not None:
+            # "import repro.x.y" binds "repro"; dotted uses are rare
+            out.append((resolved, None))
+        return out
+
+    base = imp.module
+    if imp.level > 0:
+        package = module if _is_package(module, facts) else module.rsplit(".", 1)[0]
+        for _ in range(imp.level - 1):
+            if "." not in package:
+                break
+            package = package.rsplit(".", 1)[0]
+        base = f"{package}.{imp.module}" if imp.module else package
+    if not base.startswith("repro"):
+        return out
+    for name, alias in imp.names:
+        submodule = f"{base}.{name}"
+        if submodule in facts:
+            out.append((submodule, (alias, submodule)))
+        elif base in facts:
+            out.append((base, (alias, f"{base}:{name}")))
+        else:
+            out.append((None, None))
+    return out
+
+
+def _is_package(module: str, facts: dict[str, ModuleFacts]) -> bool:
+    info = facts.get(module)
+    return info is not None and info.module_path.endswith("__init__.py")

@@ -609,9 +609,10 @@ def _cmd_select_bench(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run simlint.  Exit-code contract: 0 clean, 1 findings, 2 internal error."""
+    import json as _json
     from pathlib import Path
 
-    from repro.analysis import Baseline, LintEngine, get_rules
+    from repro.analysis import Baseline, LintEngine, get_rules, to_sarif
 
     try:
         root = Path(args.root).resolve()
@@ -628,8 +629,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             rules=rules,
             cache_path=cache_path,
             baseline=None if args.write_baseline else baseline,
+            jobs=max(1, args.jobs),
         )
-        report = engine.run([Path(p) for p in args.paths])
+        paths = [Path(p) for p in args.paths]
+        if args.graph:
+            project = engine.graph(paths)
+            if args.graph == "dot":
+                print(project.to_dot(), end="")
+            else:
+                print(_json.dumps(project.to_json(), indent=2))
+            return 0
+        report = engine.run(paths)
     except Exception as exc:  # the contract: *any* analyzer failure is exit 2
         print(f"simlint: internal error: {exc}", file=sys.stderr)
         return 2
@@ -641,14 +651,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
-    for finding in report.findings:
-        print(finding.render())
-        if args.format == "github":
-            print(finding.render_github())
-    for error in report.errors:
-        print(error.render(), file=sys.stderr)
-        if args.format == "github":
-            print(f"::error file={error.path}::{error.message}")
+    if args.format == "sarif":
+        print(_json.dumps(to_sarif(report, rules), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+            if args.format == "github":
+                print(finding.render_github())
+        for error in report.errors:
+            print(error.render(), file=sys.stderr)
+            if args.format == "github":
+                print(f"::error file={error.path}::{error.message}")
+    for warning in report.warnings:
+        print(warning.render(), file=sys.stderr)
     summary = (
         f"simlint: {report.files_scanned} file(s), "
         f"{len(report.findings)} finding(s), {len(report.errors)} error(s)"
@@ -658,11 +673,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         details.append(f"{report.pragma_suppressed} pragma-suppressed")
     if report.baseline_suppressed:
         details.append(f"{report.baseline_suppressed} baselined")
+    if report.warnings:
+        details.append(f"{len(report.warnings)} warning(s)")
     if report.cache_hits:
         details.append(f"{report.cache_hits} cache hit(s)")
     if details:
         summary += " (" + ", ".join(details) + ")"
-    print(summary)
+    print(summary, file=sys.stderr if args.format == "sarif" else sys.stdout)
     return report.exit_code()
 
 
@@ -952,8 +969,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only these rule ids (default: the full registry)",
     )
     lint.add_argument(
-        "--format", default="text", choices=("text", "github"),
-        help="'github' additionally emits ::error workflow annotations",
+        "--format", default="text", choices=("text", "github", "sarif"),
+        help="'github' additionally emits ::error workflow annotations; "
+        "'sarif' prints a SARIF 2.1.0 log on stdout (summary on stderr)",
+    )
+    lint.add_argument(
+        "--graph", default="", choices=("", "dot", "json"),
+        help="skip linting and export the project import/call graph "
+        "(GraphViz dot or JSON) on stdout",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse cache misses in N worker processes (default 1 = serial; "
+        "findings are identical at any job count)",
     )
     lint.add_argument(
         "--no-cache", action="store_true",

@@ -1,0 +1,21 @@
+"""Array type aliases shared across the predictor stack.
+
+The predictor modules pass numpy arrays through every signature; under
+``disallow_any_generics`` a bare ``np.ndarray`` is an error, and spelling
+``NDArray[np.float64]`` at ~80 sites buries the signal.  Three aliases
+cover the stack's actual dtypes:
+
+* :data:`FloatArray` — feature matrices, service times, probabilities.
+* :data:`IntArray` — training labels built with ``dtype=np.int64``.
+* :data:`IndexArray` — ``argmax``/``searchsorted``-derived class indices
+  (platform ``intp``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+FloatArray = NDArray[np.float64]
+IntArray = NDArray[np.int64]
+IndexArray = NDArray[np.intp]

@@ -19,6 +19,7 @@ import numpy as np
 from repro.cluster.engine import SearchCluster
 from repro.index.term_stats import TermStatsIndex
 from repro.metrics.quality import GroundTruth
+from repro.predictors.arrays import FloatArray
 from repro.predictors.datasets import build_latency_dataset, build_quality_dataset
 from repro.predictors.features import (
     TermFeatureCache,
@@ -335,7 +336,7 @@ class PredictorBank:
         """Write every trained per-shard model to one ``.npz`` file."""
         if not self.trained:
             raise RuntimeError("cannot save an untrained bank")
-        arrays: dict[str, np.ndarray] = {}
+        arrays: dict[str, FloatArray] = {}
         for sid in range(self.n_shards):
             for prefix, model in (
                 (f"shard{sid}.quality_k", self.quality_k_models[sid]),
@@ -376,7 +377,7 @@ class PredictorBank:
                 hidden_layers=int(meta["hidden_layers"]),
                 hidden_units=int(meta["hidden_units"]),
             )
-            states: dict[str, dict[str, np.ndarray]] = {}
+            states: dict[str, dict[str, FloatArray]] = {}
             for key in data.files:
                 if key == "meta":
                     continue

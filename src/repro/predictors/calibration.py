@@ -14,8 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.metrics.quality import GroundTruth
+from repro.predictors.arrays import FloatArray
 from repro.predictors.bank import PredictorBank
 from repro.predictors.features import quality_features
 from repro.retrieval.query import Query
@@ -57,7 +59,7 @@ class CalibrationReport:
 
 
 def reliability(
-    predicted: np.ndarray, outcomes: np.ndarray, n_bins: int = 10
+    predicted: FloatArray, outcomes: NDArray[np.bool_], n_bins: int = 10
 ) -> CalibrationReport:
     """Reliability diagram of predicted probabilities vs binary outcomes.
 

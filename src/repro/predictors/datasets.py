@@ -16,6 +16,7 @@ import numpy as np
 from repro.cluster.engine import SearchCluster
 from repro.index.term_stats import TermStatsIndex
 from repro.metrics.quality import GroundTruth
+from repro.predictors.arrays import FloatArray, IntArray
 from repro.predictors.features import latency_features, quality_features
 from repro.retrieval.query import Query
 
@@ -25,9 +26,9 @@ class ShardQualityDataset:
     """Quality training data for one shard."""
 
     shard_id: int
-    features: np.ndarray  # (n, |Table I|)
-    labels_k: np.ndarray  # docs in global top-K
-    labels_half_k: np.ndarray  # docs in global top-K/2
+    features: FloatArray  # (n, |Table I|)
+    labels_k: IntArray  # docs in global top-K
+    labels_half_k: IntArray  # docs in global top-K/2
 
     def split(self, holdout: float, seed: int = 0) -> tuple["ShardQualityDataset", "ShardQualityDataset"]:
         train_idx, test_idx = _split_indices(len(self.labels_k), holdout, seed)
@@ -44,8 +45,8 @@ class ShardLatencyDataset:
     """Latency training data for one shard."""
 
     shard_id: int
-    features: np.ndarray  # (n, |Table II|)
-    service_ms: np.ndarray  # measured at the default frequency
+    features: FloatArray  # (n, |Table II|)
+    service_ms: FloatArray  # measured at the default frequency
 
     def split(self, holdout: float, seed: int = 0) -> tuple["ShardLatencyDataset", "ShardLatencyDataset"]:
         train_idx, test_idx = _split_indices(len(self.service_ms), holdout, seed)
@@ -55,7 +56,7 @@ class ShardLatencyDataset:
         )
 
 
-def _split_indices(n: int, holdout: float, seed: int) -> tuple[np.ndarray, np.ndarray]:
+def _split_indices(n: int, holdout: float, seed: int) -> tuple[IntArray, IntArray]:
     if not 0.0 < holdout < 1.0:
         raise ValueError("holdout fraction must be in (0, 1)")
     if n < 2:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.index.term_stats import TermStats, TermStatsIndex
+from repro.predictors.arrays import FloatArray
 
 # Table I — features for quality prediction, in order.
 QUALITY_FEATURE_NAMES: tuple[str, ...] = (
@@ -48,7 +49,7 @@ LATENCY_FEATURE_NAMES: tuple[str, ...] = (
 )
 
 
-def _quality_row(stats: TermStats) -> np.ndarray:
+def _quality_row(stats: TermStats) -> FloatArray:
     return np.array(
         [
             stats.first_quartile,
@@ -65,7 +66,7 @@ def _quality_row(stats: TermStats) -> np.ndarray:
     )
 
 
-def _latency_row(stats: TermStats, query_length: int) -> np.ndarray:
+def _latency_row(stats: TermStats, query_length: int) -> FloatArray:
     return np.array(
         [
             float(stats.posting_length),
@@ -111,13 +112,13 @@ class TermFeatureCache:
         if not stats_indexes:
             raise ValueError("need at least one shard stats index")
         self.stats_indexes = stats_indexes
-        self._rows: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._rows: dict[str, tuple[FloatArray, FloatArray]] = {}
 
     @property
     def n_shards(self) -> int:
         return len(self.stats_indexes)
 
-    def rows(self, term: str) -> tuple[np.ndarray, np.ndarray]:
+    def rows(self, term: str) -> tuple[FloatArray, FloatArray]:
         """``(quality_rows[S, 10], latency_rows[S, 15])`` for one term."""
         cached = self._rows.get(term)
         if cached is not None:
@@ -135,7 +136,7 @@ class TermFeatureCache:
 
 def quality_feature_matrix(
     terms: tuple[str, ...] | list[str], cache: TermFeatureCache
-) -> np.ndarray:
+) -> FloatArray:
     """Table-I features for one query on *every* shard: ``[S, 10]``.
 
     Row ``s`` is bit-identical to ``quality_features(terms,
@@ -145,24 +146,24 @@ def quality_feature_matrix(
     if not terms:
         raise ValueError("query has no terms")
     rows = np.stack([cache.rows(term)[0] for term in terms])  # [T, S, 10]
-    return rows.max(axis=0)
+    return np.asarray(rows.max(axis=0))
 
 
 def latency_feature_matrix(
     terms: tuple[str, ...] | list[str], cache: TermFeatureCache
-) -> np.ndarray:
+) -> FloatArray:
     """Table-II features for one query on every shard: ``[S, 15]``."""
     if not terms:
         raise ValueError("query has no terms")
     rows = np.stack([cache.rows(term)[1] for term in terms])  # [T, S, 15]
-    matrix = rows.max(axis=0)
+    matrix: FloatArray = rows.max(axis=0)
     matrix[:, _QUERY_LENGTH_COL] = float(len(terms))
     return matrix
 
 
 def trace_feature_tensors(
     term_tuples: list[tuple[str, ...]], cache: TermFeatureCache
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[FloatArray, FloatArray]:
     """Feature tensors for a whole trace: ``([NQ, S, 10], [NQ, S, 15])``.
 
     One pass over the stacked term-stat arrays: every query's term rows
@@ -195,21 +196,21 @@ def trace_feature_tensors(
     return quality, latency
 
 
-def quality_features(terms: tuple[str, ...] | list[str], stats: TermStatsIndex) -> np.ndarray:
+def quality_features(terms: tuple[str, ...] | list[str], stats: TermStatsIndex) -> FloatArray:
     """Table-I feature vector for one query on one shard (MAX-aggregated)."""
     if not terms:
         raise ValueError("query has no terms")
     rows = np.stack([_quality_row(stats.get(term)) for term in terms])
-    return rows.max(axis=0)
+    return np.asarray(rows.max(axis=0))
 
 
-def latency_features(terms: tuple[str, ...] | list[str], stats: TermStatsIndex) -> np.ndarray:
+def latency_features(terms: tuple[str, ...] | list[str], stats: TermStatsIndex) -> FloatArray:
     """Table-II feature vector for one query on one shard (MAX-aggregated,
     query length passed through untouched)."""
     if not terms:
         raise ValueError("query has no terms")
     rows = np.stack([_latency_row(stats.get(term), len(terms)) for term in terms])
-    return rows.max(axis=0)
+    return np.asarray(rows.max(axis=0))
 
 
 def feature_table(

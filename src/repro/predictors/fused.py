@@ -21,15 +21,20 @@ Stacks snapshot weights at construction; rebuild after retraining (the
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.nn.losses import softmax
+from repro.predictors.arrays import FloatArray, IndexArray
 from repro.nn.model import StackedSequential
 from repro.predictors.latency import LatencyPredictor
 from repro.predictors.quality import QualityPredictor
 
 
-def _stack_scalers(models) -> tuple[np.ndarray, np.ndarray]:
+def _stack_scalers(
+    models: Sequence[QualityPredictor | LatencyPredictor],
+) -> tuple[FloatArray, FloatArray]:
     """Stack fitted StandardScaler statistics into ``[S, 1, F]`` tensors."""
     means = []
     stds = []
@@ -42,8 +47,8 @@ def _stack_scalers(models) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _shard_major(
-    features: np.ndarray, mean: np.ndarray, std: np.ndarray
-) -> np.ndarray:
+    features: FloatArray, mean: FloatArray, std: FloatArray
+) -> FloatArray:
     """Scale ``features[NQ, S, F]`` into the kernel's ``[S, NQ, 1, F]`` layout.
 
     The transpose is materialized C-contiguous *before* the scaler
@@ -52,7 +57,7 @@ def _shard_major(
     elementwise transform are exact, so bit-identity is unaffected.
     """
     x = np.ascontiguousarray(features.transpose(1, 0, 2))[:, :, None, :]
-    return (x - mean[:, None]) / std[:, None]
+    return np.asarray((x - mean[:, None]) / std[:, None])
 
 
 class FusedQualityModels:
@@ -74,8 +79,8 @@ class FusedQualityModels:
         return self.stack.n_stacked
 
     def predict_with_zero_prob(
-        self, features: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, features: FloatArray
+    ) -> tuple[IndexArray, FloatArray]:
         """All shards' (count, P[class 0]) for one query.
 
         ``features`` is the query's ``[S, F]`` Table-I matrix; returns
@@ -88,8 +93,8 @@ class FusedQualityModels:
         return counts[0], p_zero[0]
 
     def predict_with_zero_prob_many(
-        self, features: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, features: FloatArray
+    ) -> tuple[IndexArray, FloatArray]:
         """Whole-trace variant: ``[NQ, S, F] -> (counts[NQ, S], p_zero[NQ, S])``.
 
         One matmul per layer covers every (query, shard) pair; each pair's
@@ -114,7 +119,7 @@ class FusedLatencyModels:
         self.stack = StackedSequential.from_models([p.model for p in predictors])
         # Bin -> milliseconds lookup, one row per shard, built with the
         # same center_ms calls the per-shard path makes.
-        self.centers_ms = np.stack(
+        self.centers_ms: FloatArray = np.stack(
             [
                 np.array(
                     [p.binning.center_ms(b) for b in range(p.binning.n_bins)]
@@ -127,17 +132,17 @@ class FusedLatencyModels:
     def n_shards(self) -> int:
         return self.stack.n_stacked
 
-    def predict_service_ms(self, features: np.ndarray) -> np.ndarray:
+    def predict_service_ms(self, features: FloatArray) -> FloatArray:
         """All shards' default-frequency service predictions: ``[S]``.
 
         ``features`` is the query's ``[S, F]`` Table-II matrix.  Mirrors
         ``LatencyPredictor.predict_one_ms``: argmax over logits, then the
         bin's geometric-midpoint center.
         """
-        return self.predict_service_ms_many(features[None])[0]
+        return np.asarray(self.predict_service_ms_many(features[None])[0])
 
-    def predict_service_ms_many(self, features: np.ndarray) -> np.ndarray:
+    def predict_service_ms_many(self, features: FloatArray) -> FloatArray:
         """Whole-trace variant: ``[NQ, S, F] -> service_ms[NQ, S]``."""
         x = _shard_major(features, self.mean, self.std)
         bins = np.argmax(self.stack.forward_batched(x)[:, :, 0, :], axis=-1)  # [S, NQ]
-        return self.centers_ms[np.arange(self.n_shards)[:, None], bins].T
+        return np.asarray(self.centers_ms[np.arange(self.n_shards)[:, None], bins]).T

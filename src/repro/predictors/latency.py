@@ -18,6 +18,7 @@ import numpy as np
 from repro.nn.model import Sequential, TrainingHistory, mlp_classifier
 from repro.nn.optimizers import Adam
 from repro.nn.scaler import StandardScaler
+from repro.predictors.arrays import FloatArray, IndexArray
 from repro.predictors.features import LATENCY_FEATURE_NAMES
 
 
@@ -54,9 +55,9 @@ class LatencyBinning:
         """Representative service time for a bin (geometric midpoint)."""
         edges = self.edges_ms
         if bin_index <= 0:
-            return edges[0] / np.sqrt(edges[1] / edges[0])
+            return float(edges[0] / np.sqrt(edges[1] / edges[0]))
         if bin_index >= len(edges):
-            return edges[-1] * np.sqrt(edges[-1] / edges[-2])
+            return float(edges[-1] * np.sqrt(edges[-1] / edges[-2]))
         return float(np.sqrt(edges[bin_index - 1] * edges[bin_index]))
 
 
@@ -83,13 +84,13 @@ class LatencyPredictor:
 
     def fit(
         self,
-        features: np.ndarray,
-        service_ms: np.ndarray,
+        features: FloatArray,
+        service_ms: FloatArray,
         iterations: int = 300,
         batch_size: int = 32,
         learning_rate: float = 1e-3,
         seed: int = 0,
-        eval_set: tuple[np.ndarray, np.ndarray] | None = None,
+        eval_set: tuple[FloatArray, FloatArray] | None = None,
         eval_every: int = 0,
     ) -> TrainingHistory:
         """Train from measured default-frequency service times (ms)."""
@@ -113,23 +114,23 @@ class LatencyPredictor:
         self.trained = True
         return history
 
-    def predict_bins(self, features: np.ndarray) -> np.ndarray:
+    def predict_bins(self, features: FloatArray) -> IndexArray:
         self._require_trained()
         return self.model.predict_classes(self.scaler.transform(np.atleast_2d(features)))
 
-    def predict_service_ms(self, features: np.ndarray) -> np.ndarray:
+    def predict_service_ms(self, features: FloatArray) -> FloatArray:
         """Predicted default-frequency service times in milliseconds."""
         return np.array(
             [self.binning.center_ms(int(b)) for b in self.predict_bins(features)]
         )
 
-    def predict_one_ms(self, features: np.ndarray) -> float:
+    def predict_one_ms(self, features: FloatArray) -> float:
         return float(self.predict_service_ms(features)[0])
 
     def accuracy(
         self,
-        features: np.ndarray,
-        service_ms: np.ndarray,
+        features: FloatArray,
+        service_ms: FloatArray,
         tolerance_bins: int = 1,
     ) -> float:
         """Fraction of queries predicted within ``tolerance_bins`` bins.
@@ -142,7 +143,7 @@ class LatencyPredictor:
         predicted = self.predict_bins(features)
         return float(np.mean(np.abs(predicted - true_bins) <= tolerance_bins))
 
-    def inference_time_us(self, features: np.ndarray, repeats: int = 50) -> float:
+    def inference_time_us(self, features: FloatArray, repeats: int = 50) -> float:
         """Median single-query inference latency in microseconds."""
         self._require_trained()
         row = np.atleast_2d(features)[:1]
@@ -154,16 +155,17 @@ class LatencyPredictor:
             timings.append((time.perf_counter() - start) * 1e6)  # simlint: disable=DET-CLOCK -- wall-clock microbenchmark, never feeds the sim
         return float(np.median(timings))
 
-    def state(self) -> dict[str, np.ndarray]:
+    def state(self) -> dict[str, FloatArray]:
         """Serializable weights + scaler + binning edges."""
         self._require_trained()
+        assert self.scaler.mean_ is not None and self.scaler.std_ is not None
         state = {f"model.{k}": v for k, v in self.model.state().items()}
         state["scaler.mean"] = self.scaler.mean_
         state["scaler.std"] = self.scaler.std_
         state["binning.edges"] = np.asarray(self.binning.edges_ms)
         return state
 
-    def load_state(self, state: dict[str, np.ndarray]) -> None:
+    def load_state(self, state: dict[str, FloatArray]) -> None:
         """Restore a trained predictor from :meth:`state` output."""
         edges = tuple(float(e) for e in state["binning.edges"])
         if edges != self.binning.edges_ms:

@@ -21,6 +21,7 @@ from repro.nn.losses import MeanSquaredError
 from repro.nn.model import Sequential, TrainingHistory, mlp_classifier
 from repro.nn.optimizers import Adam
 from repro.nn.scaler import StandardScaler
+from repro.predictors.arrays import FloatArray
 from repro.predictors.features import LATENCY_FEATURE_NAMES
 
 
@@ -47,8 +48,8 @@ class LatencyRegressor:
 
     def fit(
         self,
-        features: np.ndarray,
-        service_ms: np.ndarray,
+        features: FloatArray,
+        service_ms: FloatArray,
         iterations: int = 300,
         batch_size: int = 32,
         learning_rate: float = 1e-3,
@@ -71,20 +72,20 @@ class LatencyRegressor:
         self.trained = True
         return history
 
-    def predict_service_ms(self, features: np.ndarray) -> np.ndarray:
+    def predict_service_ms(self, features: FloatArray) -> FloatArray:
         self._require_trained()
         log_pred = self.model.predict(
             self.scaler.transform(np.atleast_2d(features))
         )[:, 0]
-        return np.exp(log_pred)
+        return np.asarray(np.exp(log_pred))
 
-    def predict_one_ms(self, features: np.ndarray) -> float:
+    def predict_one_ms(self, features: FloatArray) -> float:
         return float(self.predict_service_ms(features)[0])
 
     def accuracy(
         self,
-        features: np.ndarray,
-        service_ms: np.ndarray,
+        features: FloatArray,
+        service_ms: FloatArray,
         rel_tolerance: float = 0.3,
     ) -> float:
         """Fraction predicted within ``rel_tolerance`` relative error —
@@ -96,7 +97,7 @@ class LatencyRegressor:
         return float(np.mean(rel <= rel_tolerance))
 
     def median_relative_error(
-        self, features: np.ndarray, service_ms: np.ndarray
+        self, features: FloatArray, service_ms: FloatArray
     ) -> float:
         self._require_trained()
         service_ms = np.asarray(service_ms, dtype=np.float64)

@@ -16,6 +16,7 @@ import numpy as np
 from repro.nn.model import Sequential, TrainingHistory, mlp_classifier
 from repro.nn.optimizers import Adam
 from repro.nn.scaler import StandardScaler
+from repro.predictors.arrays import FloatArray, IndexArray, IntArray
 from repro.predictors.features import QUALITY_FEATURE_NAMES
 
 
@@ -51,13 +52,13 @@ class QualityPredictor:
 
     def fit(
         self,
-        features: np.ndarray,
-        labels: np.ndarray,
+        features: FloatArray,
+        labels: IntArray,
         iterations: int = 600,
         batch_size: int = 32,
         learning_rate: float = 1e-3,
         seed: int = 0,
-        eval_set: tuple[np.ndarray, np.ndarray] | None = None,
+        eval_set: tuple[FloatArray, IntArray] | None = None,
         eval_every: int = 0,
     ) -> TrainingHistory:
         """Train on (query, shard) samples; labels are clipped to [0, K]."""
@@ -79,15 +80,15 @@ class QualityPredictor:
         self.trained = True
         return history
 
-    def predict_counts(self, features: np.ndarray) -> np.ndarray:
+    def predict_counts(self, features: FloatArray) -> IndexArray:
         """Predicted docs-in-top-K for a batch of feature rows."""
         self._require_trained()
         return self.model.predict_classes(self.scaler.transform(np.atleast_2d(features)))
 
-    def predict_one(self, features: np.ndarray) -> int:
+    def predict_one(self, features: FloatArray) -> int:
         return int(self.predict_counts(features)[0])
 
-    def predict_with_zero_prob(self, features: np.ndarray) -> tuple[int, float]:
+    def predict_with_zero_prob(self, features: FloatArray) -> tuple[int, float]:
         """Predicted count plus the model's probability of class 0.
 
         The zero probability lets callers gate *cut* decisions on model
@@ -100,13 +101,13 @@ class QualityPredictor:
         )[0]
         return int(np.argmax(probs)), float(probs[0])
 
-    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+    def accuracy(self, features: FloatArray, labels: IntArray) -> float:
         """Exact-class accuracy (the paper's quality-prediction accuracy)."""
         self._require_trained()
         labels = np.clip(np.asarray(labels, dtype=np.int64), 0, self.k)
         return float(np.mean(self.predict_counts(features) == labels))
 
-    def inference_time_us(self, features: np.ndarray, repeats: int = 50) -> float:
+    def inference_time_us(self, features: FloatArray, repeats: int = 50) -> float:
         """Median single-query inference latency in microseconds.
 
         The paper reports <=41 us per query for quality inference; this
@@ -122,15 +123,16 @@ class QualityPredictor:
             timings.append((time.perf_counter() - start) * 1e6)  # simlint: disable=DET-CLOCK -- wall-clock microbenchmark, never feeds the sim
         return float(np.median(timings))
 
-    def state(self) -> dict[str, np.ndarray]:
+    def state(self) -> dict[str, FloatArray]:
         """Serializable weights + scaler (see :meth:`load_state`)."""
         self._require_trained()
+        assert self.scaler.mean_ is not None and self.scaler.std_ is not None
         state = {f"model.{k}": v for k, v in self.model.state().items()}
         state["scaler.mean"] = self.scaler.mean_
         state["scaler.std"] = self.scaler.std_
         return state
 
-    def load_state(self, state: dict[str, np.ndarray]) -> None:
+    def load_state(self, state: dict[str, FloatArray]) -> None:
         """Restore a trained predictor from :meth:`state` output."""
         self.model.load_state(
             {k[len("model."):]: v for k, v in state.items() if k.startswith("model.")}

@@ -41,6 +41,7 @@ from repro.nn.losses import softmax
 from repro.nn.model import Sequential, StackedSequential, mlp_classifier
 from repro.nn.optimizers import Adam
 from repro.nn.scaler import StandardScaler
+from repro.predictors.arrays import FloatArray, IndexArray, IntArray
 from repro.predictors.features import (
     LATENCY_FEATURE_NAMES,
     QUALITY_FEATURE_NAMES,
@@ -69,10 +70,10 @@ _FORMAT_VERSION = 1
 
 def selector_feature_tensor(
     term_tuples: list[tuple[str, ...]], cache: TermFeatureCache
-) -> np.ndarray:
+) -> FloatArray:
     """``[NQ, S, 25]`` — Table-I ++ Table-II features for many queries."""
     quality_t, latency_t = trace_feature_tensors(term_tuples, cache)
-    return np.concatenate([quality_t, latency_t], axis=2)
+    return np.asarray(np.concatenate([quality_t, latency_t], axis=2))
 
 
 class _ShardStrategyModel:
@@ -94,13 +95,15 @@ class _ShardStrategyModel:
             seed=seed,
         )
 
-    def state(self) -> dict[str, np.ndarray]:
+    def state(self) -> dict[str, FloatArray]:
+        if self.scaler.mean_ is None or self.scaler.std_ is None:
+            raise RuntimeError("shard model has not been fitted")
         state = {f"model.{k}": v for k, v in self.model.state().items()}
         state["scaler.mean"] = self.scaler.mean_
         state["scaler.std"] = self.scaler.std_
         return state
 
-    def load_state(self, state: dict[str, np.ndarray]) -> None:
+    def load_state(self, state: dict[str, FloatArray]) -> None:
         self.model.load_state(
             {k[len("model."):]: v for k, v in state.items() if k.startswith("model.")}
         )
@@ -153,8 +156,8 @@ class LearnedSelector:
         ]
         self.trained = False
         self._stack: StackedSequential | None = None
-        self._mean: np.ndarray | None = None
-        self._std: np.ndarray | None = None
+        self._mean: FloatArray | None = None
+        self._std: FloatArray | None = None
         # terms -> one rank-safe StrategyChoice per shard.  Tuples on
         # purpose: every caller shares the same immutable row.
         self._choice_cache: dict[tuple[str, ...], tuple[StrategyChoice, ...]] = {}
@@ -169,7 +172,7 @@ class LearnedSelector:
     def fit(
         self,
         term_tuples: list[tuple[str, ...]],
-        labels: np.ndarray,
+        labels: IntArray,
         iterations: int = 300,
         batch_size: int = 32,
         learning_rate: float = 1e-3,
@@ -209,19 +212,25 @@ class LearnedSelector:
         return accuracies
 
     # ------------------------------------------------------------- inference
-    def _fused(self) -> tuple[StackedSequential, np.ndarray, np.ndarray]:
+    def _fused(self) -> tuple[StackedSequential, FloatArray, FloatArray]:
         if not self.trained:
             raise RuntimeError("selector has not been trained")
         if self._stack is None:
             self._stack = StackedSequential.from_models(
                 [m.model for m in self.models]
             )
-            self._mean = np.stack([m.scaler.mean_ for m in self.models])[:, None, :]
-            self._std = np.stack([m.scaler.std_ for m in self.models])[:, None, :]
+            means: list[FloatArray] = []
+            stds: list[FloatArray] = []
+            for m in self.models:
+                assert m.scaler.mean_ is not None and m.scaler.std_ is not None
+                means.append(m.scaler.mean_)
+                stds.append(m.scaler.std_)
+            self._mean = np.stack(means)[:, None, :]
+            self._std = np.stack(stds)[:, None, :]
         assert self._mean is not None and self._std is not None
         return self._stack, self._mean, self._std
 
-    def predict_strategies(self, term_tuples: list[tuple[str, ...]]) -> np.ndarray:
+    def predict_strategies(self, term_tuples: list[tuple[str, ...]]) -> IndexArray:
         """Predicted strategy indices for many queries: ``[NQ, S]``.
 
         One fused forward pass over the stacked shard models (the
@@ -240,7 +249,7 @@ class LearnedSelector:
                 picked,
                 SAFE_STRATEGIES.index(self.fallback_strategy),
             )
-        return picked.T
+        return np.asarray(picked).T
 
     def _choices_for(self, terms: tuple[str, ...]) -> tuple[StrategyChoice, ...]:
         cached = self._choice_cache.get(terms)
@@ -298,7 +307,7 @@ class LearnedSelector:
         """Write every trained shard model to one ``.npz`` file."""
         if not self.trained:
             raise RuntimeError("cannot save an untrained selector")
-        arrays: dict[str, np.ndarray] = {}
+        arrays: dict[str, FloatArray] = {}
         for sid, shard_model in enumerate(self.models):
             for key, value in shard_model.state().items():
                 arrays[f"shard{sid}.{key}"] = value
@@ -350,7 +359,7 @@ class LearnedSelector:
                 fallback_strategy=str(meta["fallback_strategy"]),
                 downshift_budget_ms=downshift_budget_ms,
             )
-            states: dict[int, dict[str, np.ndarray]] = {}
+            states: dict[int, dict[str, FloatArray]] = {}
             for key in data.files:
                 if key == "meta":
                     continue

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.cluster.cache import ResultCache
 from repro.cluster.types import SelectionPolicy
@@ -118,7 +119,7 @@ class SweepPoint:
         """
         return self.goodput_qps / self.realized_qps if self.realized_qps else 0.0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         return {
             "offered_qps": self.offered_qps,
             "realized_qps": self.realized_qps,
@@ -165,7 +166,7 @@ class CampaignResult:
         """The acceptance gate: saturated sweep, knee near the prediction."""
         return self.knee.saturated and abs(self.knee_ratio - 1.0) <= rel_tolerance
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         return {
             "policy": self.policy_name,
             "arrival": self.arrival,
@@ -180,7 +181,7 @@ class CampaignResult:
         }
 
 
-def zipf_weights(n: int, exponent: float) -> np.ndarray:
+def zipf_weights(n: int, exponent: float) -> NDArray[np.float64]:
     """The pool's popularity mass (rank-Zipf, same law the streams sample)."""
     ranks = np.arange(1, n + 1, dtype=np.float64)
     weights = ranks**-exponent

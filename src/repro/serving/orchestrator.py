@@ -98,7 +98,7 @@ class ServingStats:
     def percentile_ms(self, p: float) -> float:
         return self.latency.percentile(p)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         return {
             "offered": self.offered,
             "completed": self.completed,

@@ -99,7 +99,7 @@ class ClusterQueueingModel:
         )
         return self.overhead_ms + worst
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         return {
             "overhead_ms": self.overhead_ms,
             "saturation_qps": self.saturation_qps(),
@@ -194,7 +194,7 @@ class KneeEstimate:
     threshold: float
     saturated: bool  # the sweep actually crossed the threshold
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         return {
             "knee_qps": self.knee_qps,
             "threshold": self.threshold,

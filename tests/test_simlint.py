@@ -15,9 +15,11 @@ from repro.analysis import (
     Finding,
     LintEngine,
     all_rules,
+    analysis_source_digest,
     get_rules,
     module_path_of,
     parse_pragmas,
+    rules_signature,
     run_lint,
 )
 
@@ -26,6 +28,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 RULE_IDS = {
     "DET-RNG", "DET-CLOCK", "DET-ORDER", "FLOAT-ORDER",
     "TEL-BIND", "MUT-DEFAULT", "PAR-SHARED", "PAR-PICKLE",
+    "DET-CLOCK-FLOW", "DET-RNG-FLOW", "PAR-PICKLE-FLOW", "ARCH-LAYER",
 }
 
 
@@ -47,7 +50,7 @@ def rule_hits(report, rule_id):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_rules_registered(self):
         assert {rule.id for rule in all_rules()} >= RULE_IDS
 
     def test_rules_have_docs(self):
@@ -469,6 +472,120 @@ class TestPragmas:
         )
         assert not report.findings
         assert report.pragma_suppressed == 1
+
+    def test_pragma_on_any_line_of_multiline_statement(self, tmp_path):
+        # The finding anchors to the call line; the pragma sits on the
+        # closing-paren line.  Both live inside one statement span, so
+        # the pragma governs the whole statement.
+        report = lint_snippet(
+            tmp_path,
+            "import random\n"
+            "x = random.random(\n"
+            ")  # simlint: disable=DET-RNG -- fixture\n",
+        )
+        assert not rule_hits(report, "DET-RNG")
+        assert report.pragma_suppressed == 1
+
+    def test_pragma_covers_whole_parenthesized_statement(self, tmp_path):
+        # One pragma inside a bracketed literal suppresses every finding
+        # the statement produces — the span is the statement, not a line.
+        report = lint_snippet(
+            tmp_path,
+            "import random\n"
+            "vals = [\n"
+            "    random.random(),  # simlint: disable=DET-RNG -- fixture\n"
+            "    random.random(),\n"
+            "]\n",
+        )
+        assert not rule_hits(report, "DET-RNG")
+        assert report.pragma_suppressed == 2
+
+    def test_pragma_on_decorated_def_header(self, tmp_path):
+        # A compound statement's pragma span is the *header* only
+        # (decorators through the def line), so a pragma on either the
+        # decorator or the signature suppresses a header finding.
+        for pragma_line in (
+            "@functools.lru_cache  # simlint: disable=MUT-DEFAULT -- fixture\n"
+            "def config(opts={}):\n",
+            "@functools.lru_cache\n"
+            "def config(opts={}):  # simlint: disable=MUT-DEFAULT -- fixture\n",
+        ):
+            report = lint_snippet(
+                tmp_path,
+                "import functools\n" + pragma_line + "    return opts\n",
+            )
+            assert not rule_hits(report, "MUT-DEFAULT"), pragma_line
+            assert report.pragma_suppressed == 1
+
+    def test_body_pragma_does_not_leak_to_header(self, tmp_path):
+        # A pragma on a body statement has its own (body-statement) span;
+        # it must not swallow findings anchored to the def header.
+        report = lint_snippet(
+            tmp_path,
+            "def config(opts={}):\n"
+            "    return opts  # simlint: disable=MUT-DEFAULT -- wrong place\n",
+        )
+        assert len(rule_hits(report, "MUT-DEFAULT")) == 1
+        assert report.pragma_suppressed == 0
+
+    def test_unknown_rule_id_warns_without_failing(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "x = 1  # simlint: disable=DET-RNGG -- typo\n",
+        )
+        assert not report.findings
+        assert len(report.warnings) == 1
+        warning = report.warnings[0]
+        assert "DET-RNGG" in warning.message
+        assert warning.line == 1
+        assert report.exit_code() == 0
+
+    def test_known_rule_and_all_do_not_warn(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "import random\n"
+            "a = random.random()  # simlint: disable=DET-RNG -- fixture\n"
+            "b = random.random()  # simlint: disable=all -- fixture\n",
+        )
+        assert not report.warnings
+
+
+class TestRulesSignature:
+    def test_digest_is_stable_and_tracks_source_edits(self, tmp_path):
+        pkg = tmp_path / "analysis"
+        pkg.mkdir()
+        (pkg / "rules.py").write_text("THRESHOLD = 1\n")
+        first = analysis_source_digest(package_dir=pkg)
+        assert first == analysis_source_digest(package_dir=pkg)
+
+        (pkg / "rules.py").write_text("THRESHOLD = 2\n")
+        assert analysis_source_digest(package_dir=pkg) != first
+
+        # adding a file changes the digest too (the hash walks the dir)
+        (pkg / "extra.py").write_text("")
+        second = analysis_source_digest(package_dir=pkg)
+        assert second != first
+
+    def test_signature_embeds_source_digest(self):
+        signature = rules_signature(all_rules())
+        assert signature.startswith(analysis_source_digest() + ":")
+        # a different rule subset yields a different signature
+        assert signature != rules_signature(get_rules(["DET-RNG"]))
+
+    def test_signature_mismatch_drops_cache(self, tmp_path):
+        from repro.analysis.cache import ResultCache, content_hash
+
+        source_hash = content_hash("x = 1\n")
+        entry = {"hash": source_hash, "findings": []}
+        cache = ResultCache(tmp_path / "c.json", rules_signature="sig-a")
+        cache.put_entry("repro/core/m.py", entry)
+        cache.save()
+
+        stale = ResultCache(tmp_path / "c.json", rules_signature="sig-b")
+        assert stale.get_entry("repro/core/m.py", source_hash) is None
+
+        fresh = ResultCache(tmp_path / "c.json", rules_signature="sig-a")
+        assert fresh.get_entry("repro/core/m.py", source_hash) == entry
 
 
 class TestCache:

@@ -1,0 +1,407 @@
+"""Whole-program simlint self-tests: graph, flow rules, layers, caching.
+
+The fixture tree models the one shape per-file analysis cannot judge: a
+``util`` helper that legitimately touches a nondeterminism source (and
+suppresses the local rule with a pragma), and a simulation module that
+imports the helper.  The cross-module findings must land at the *call
+site* in the consuming module, with a witness chain back to the source.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    LintEngine,
+    all_rules,
+    build_graph,
+    get_rules,
+    run_lint,
+    to_sarif,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+TIMING_CLEAN = """\
+def now_wall():
+    return 123.0
+"""
+
+TIMING_CLOCK = """\
+import time
+
+
+def now_wall():
+    return time.time()  # simlint: disable=DET-CLOCK -- host measurement only
+"""
+
+RAND_SOURCE = """\
+import random
+
+
+def jitter():
+    return random.random()  # simlint: disable=DET-RNG -- legacy seed path
+"""
+
+FAN_SOURCE = """\
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(fn, items):
+    process_pool = ProcessPoolExecutor()
+    return [process_pool.submit(fn, item) for item in items]
+"""
+
+ENGINE_SOURCE = """\
+from repro.util.timing import now_wall
+
+
+def step():
+    return now_wall()
+"""
+
+DRIVER_SOURCE = """\
+from repro.util.fan import fan_out
+from repro.util.rand import jitter
+
+
+def drive(items):
+    return fan_out(lambda x: x + 1, items)
+
+
+def perturb(value):
+    return value + jitter()
+"""
+
+FLOW_TREE = {
+    "__init__.py": "",
+    "util/__init__.py": "",
+    "util/timing.py": TIMING_CLOCK,
+    "util/rand.py": RAND_SOURCE,
+    "util/fan.py": FAN_SOURCE,
+    "cluster/__init__.py": "",
+    "cluster/engine.py": ENGINE_SOURCE,
+    "cluster/driver.py": DRIVER_SOURCE,
+}
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        target = root / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root / "repro"
+
+
+def lint_tree(tmp_path, files, **kwargs):
+    target = write_tree(tmp_path, files)
+    kwargs.setdefault("use_cache", False)
+    return run_lint([target], root=tmp_path, **kwargs)
+
+
+def rule_hits(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+class TestProjectGraph:
+    def test_modules_edges_and_reachability(self, tmp_path):
+        target = write_tree(tmp_path, FLOW_TREE)
+        project = build_graph([target], root=tmp_path)
+
+        assert "repro.util.timing" in project.modules
+        assert "repro.cluster.driver" in project.modules
+
+        driver_targets = {e.target for e in project.edges["repro.cluster.driver"]}
+        assert {"repro.util.fan", "repro.util.rand"} <= driver_targets
+        assert all(e.top_level for e in project.edges["repro.cluster.driver"])
+
+        reachable = project.reachable("repro.cluster.engine")
+        assert "repro.util.timing" in reachable
+        assert "repro.util.fan" not in reachable
+
+    def test_from_import_binds_member(self, tmp_path):
+        target = write_tree(tmp_path, FLOW_TREE)
+        project = build_graph([target], root=tmp_path)
+        assert (
+            project.bindings["repro.cluster.engine"]["now_wall"]
+            == "repro.util.timing:now_wall"
+        )
+
+    def test_dependency_hash_tracks_the_closure(self, tmp_path):
+        target = write_tree(tmp_path, FLOW_TREE)
+        before = build_graph([target], root=tmp_path)
+        engine_before = before.dependency_hash("repro.cluster.engine")
+        driver_before = before.dependency_hash("repro.cluster.driver")
+
+        (target / "util" / "timing.py").write_text(TIMING_CLEAN)
+        after = build_graph([target], root=tmp_path)
+        # engine imports timing -> its closure hash moves; driver does not
+        assert after.dependency_hash("repro.cluster.engine") != engine_before
+        assert after.dependency_hash("repro.cluster.driver") == driver_before
+
+    def test_exports_render(self, tmp_path):
+        target = write_tree(tmp_path, FLOW_TREE)
+        project = build_graph([target], root=tmp_path)
+        dot = project.to_dot()
+        assert dot.startswith("digraph") and "repro.util.timing" in dot
+        data = project.to_json()
+        assert "repro.cluster.engine" in data["modules"]
+        assert any(
+            e["source"] == "repro.cluster.engine"
+            and e["target"] == "repro.util.timing"
+            for e in data["edges"]
+        )
+
+
+class TestDetClockFlow:
+    def test_cross_module_call_site_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, FLOW_TREE)
+        hits = rule_hits(report, "DET-CLOCK-FLOW")
+        assert len(hits) == 1
+        finding = hits[0]
+        assert finding.path == "repro/cluster/engine.py"
+        assert finding.line == 5  # the now_wall() call, not the source
+        assert "time.time()" in finding.message  # witness chain endpoint
+        # the per-file rule stayed silent: the read is pragma'd at source
+        assert not rule_hits(report, "DET-CLOCK")
+
+    def test_clean_helper_not_flagged(self, tmp_path):
+        tree = dict(FLOW_TREE)
+        tree["util/timing.py"] = TIMING_CLEAN
+        report = lint_tree(tmp_path, tree)
+        assert not rule_hits(report, "DET-CLOCK-FLOW")
+
+    def test_exempt_caller_not_flagged(self, tmp_path):
+        tree = dict(FLOW_TREE)
+        tree["telemetry/__init__.py"] = ""
+        tree["telemetry/probe.py"] = (
+            "from repro.util.timing import now_wall\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    return now_wall()\n"
+        )
+        report = lint_tree(tmp_path, tree)
+        assert not any(
+            f.path.startswith("repro/telemetry/") for f in report.findings
+        )
+
+
+class TestDetRngFlow:
+    def test_cross_module_call_site_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, FLOW_TREE)
+        hits = rule_hits(report, "DET-RNG-FLOW")
+        assert len(hits) == 1
+        assert hits[0].path == "repro/cluster/driver.py"
+        assert "jitter" in hits[0].message
+        assert not rule_hits(report, "DET-RNG")
+
+    def test_seeded_helper_not_flagged(self, tmp_path):
+        tree = dict(FLOW_TREE)
+        tree["util/rand.py"] = (
+            "import random\n"
+            "\n"
+            "_RNG = random.Random(7)\n"
+            "\n"
+            "\n"
+            "def jitter():\n"
+            "    return _RNG.random()\n"
+        )
+        report = lint_tree(tmp_path, tree)
+        assert not rule_hits(report, "DET-RNG-FLOW")
+
+
+class TestParPickleFlow:
+    def test_lambda_through_wrapper_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, FLOW_TREE)
+        hits = rule_hits(report, "PAR-PICKLE-FLOW")
+        assert len(hits) == 1
+        finding = hits[0]
+        assert finding.path == "repro/cluster/driver.py"
+        assert finding.line == 6  # the fan_out(lambda ...) call
+        assert "fan_out" in finding.message
+        # the per-file rule cannot see through the wrapper
+        assert not rule_hits(report, "PAR-PICKLE")
+
+    def test_module_level_function_not_flagged(self, tmp_path):
+        tree = dict(FLOW_TREE)
+        tree["cluster/driver.py"] = (
+            "from repro.util.fan import fan_out\n"
+            "\n"
+            "\n"
+            "def bump(x):\n"
+            "    return x + 1\n"
+            "\n"
+            "\n"
+            "def drive(items):\n"
+            "    return fan_out(bump, items)\n"
+        )
+        report = lint_tree(tmp_path, tree)
+        assert not rule_hits(report, "PAR-PICKLE-FLOW")
+
+
+LAYER_BAD = {
+    "__init__.py": "",
+    "index/__init__.py": "",
+    "index/store.py": "from repro.retrieval.kernels import score\n",
+    "retrieval/__init__.py": "",
+    "retrieval/kernels.py": "def score(x):\n    return x\n",
+}
+
+
+class TestArchLayer:
+    def test_back_edge_flagged(self, tmp_path):
+        report = lint_tree(tmp_path, LAYER_BAD)
+        hits = rule_hits(report, "ARCH-LAYER")
+        assert len(hits) == 1
+        finding = hits[0]
+        assert finding.path == "repro/index/store.py"
+        assert "retrieval" in finding.message
+
+    def test_downward_edge_clean(self, tmp_path):
+        tree = {
+            "__init__.py": "",
+            "index/__init__.py": "",
+            "index/store.py": "def load():\n    return ()\n",
+            "retrieval/__init__.py": "",
+            "retrieval/kernels.py": "from repro.index.store import load\n",
+        }
+        report = lint_tree(tmp_path, tree)
+        assert not rule_hits(report, "ARCH-LAYER")
+
+    def test_type_checking_and_lazy_imports_sanctioned(self, tmp_path):
+        tree = dict(LAYER_BAD)
+        tree["index/store.py"] = (
+            "from typing import TYPE_CHECKING\n"
+            "\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.retrieval.kernels import score\n"
+            "\n"
+            "\n"
+            "def rescore(x):\n"
+            "    from repro.retrieval.kernels import score\n"
+            "    return score(x)\n"
+        )
+        report = lint_tree(tmp_path, tree)
+        assert not rule_hits(report, "ARCH-LAYER")
+
+
+class TestDependencyAwareCache:
+    def run_cached(self, tmp_path, **kwargs):
+        return run_lint(
+            [tmp_path / "repro"],
+            root=tmp_path,
+            cache_path=tmp_path / "cache.json",
+            **kwargs,
+        )
+
+    def test_warm_run_parses_nothing(self, tmp_path):
+        write_tree(tmp_path, FLOW_TREE)
+        cold = self.run_cached(tmp_path)
+        assert cold.files_parsed == len(FLOW_TREE)
+        assert cold.project_cache_hits == 0
+
+        warm = self.run_cached(tmp_path)
+        assert warm.files_parsed == 0
+        assert warm.cache_hits == len(FLOW_TREE)
+        assert warm.project_cache_hits == len(FLOW_TREE)
+        assert warm.findings == cold.findings
+
+    def test_editing_a_dependency_revives_flow_findings(self, tmp_path):
+        # Start with a clean helper: no flow finding anywhere.
+        tree = dict(FLOW_TREE)
+        tree["util/timing.py"] = TIMING_CLEAN
+        target = write_tree(tmp_path, tree)
+        cold = self.run_cached(tmp_path)
+        assert not rule_hits(cold, "DET-CLOCK-FLOW")
+
+        # Introduce the clock read in the helper ONLY.  engine.py is
+        # byte-identical (per-file cache hit) yet must pick up the new
+        # cross-module finding — the dependency hash forces phase C.
+        (target / "util" / "timing.py").write_text(TIMING_CLOCK)
+        warm = self.run_cached(tmp_path)
+        assert warm.files_parsed == 1  # just the edited helper
+        assert warm.cache_hits == len(FLOW_TREE) - 1
+        assert warm.project_cache_hits == 0
+        hits = rule_hits(warm, "DET-CLOCK-FLOW")
+        assert len(hits) == 1 and hits[0].path == "repro/cluster/engine.py"
+
+    def test_touched_file_alone_does_not_rerun_project_rules(self, tmp_path):
+        write_tree(tmp_path, FLOW_TREE)
+        cold = self.run_cached(tmp_path)
+        # a leaf nobody imports: editing it re-parses one file but every
+        # dependency closure that matters is unchanged except its own
+        (tmp_path / "repro" / "standalone.py").write_text("VALUE = 1\n")
+        first = self.run_cached(tmp_path)
+        (tmp_path / "repro" / "standalone.py").write_text("VALUE = 2\n")
+        second = self.run_cached(tmp_path)
+        assert second.files_parsed == 1
+        assert second.findings == first.findings == cold.findings
+
+
+class TestParallelJobs:
+    def test_findings_identical_at_any_job_count(self, tmp_path):
+        serial = lint_tree(tmp_path, FLOW_TREE, jobs=1)
+        parallel = run_lint(
+            [tmp_path / "repro"], root=tmp_path, use_cache=False, jobs=4
+        )
+        assert parallel.findings == serial.findings
+        assert parallel.files_parsed == serial.files_parsed
+        assert len(serial.findings) == 3  # one per flow rule
+
+
+class TestSarif:
+    def test_sarif_log_shape(self, tmp_path):
+        report = lint_tree(tmp_path, FLOW_TREE)
+        log = to_sarif(report, all_rules())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "simlint"
+        assert {r["id"] for r in driver["rules"]} >= {
+            "DET-CLOCK-FLOW", "ARCH-LAYER",
+        }
+        assert len(run["results"]) == len(report.findings) == 3
+        for result in run["results"]:
+            assert result["partialFingerprints"]["simlint/v1"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].startswith("repro/")
+        # round-trips through json
+        json.loads(json.dumps(log))
+
+
+class TestGraphCli:
+    def run_cli(self, tmp_path, capsys, fmt):
+        from repro.cli import main
+
+        write_tree(tmp_path, FLOW_TREE)
+        code = main(
+            [
+                "lint",
+                str(tmp_path / "repro"),
+                "--root", str(tmp_path),
+                "--cache", str(tmp_path / "cache.json"),
+                "--graph", fmt,
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_dot_export(self, tmp_path, capsys):
+        out = self.run_cli(tmp_path, capsys, "dot")
+        assert out.startswith("digraph")
+        assert "repro.cluster.engine" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        data = json.loads(self.run_cli(tmp_path, capsys, "json"))
+        assert set(data["modules"]) >= {"repro.util.fan", "repro.cluster.driver"}
+
+
+class TestRealTree:
+    def test_layer_contract_holds_on_src_repro(self, tmp_path):
+        engine = LintEngine(
+            root=REPO_ROOT,
+            rules=get_rules(["ARCH-LAYER"]),
+            cache_path=None,
+        )
+        report = engine.run([REPO_ROOT / "src" / "repro"])
+        assert not report.findings, [f.render() for f in report.findings]
